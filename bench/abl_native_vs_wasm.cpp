@@ -1,0 +1,71 @@
+// Ablation — native scheduler vs Wasm plugin (the "running speed" gap the
+// paper discusses in §6C). Same policy, same inputs: the native baseline is
+// a direct C++ call; the Wasm path adds serialization, two sandbox
+// crossings, and interpretation.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "plugin/manager.h"
+#include "ran/phy_tables.h"
+#include "sched/native.h"
+#include "sched/plugins.h"
+#include "sched/wasm_sched.h"
+
+namespace {
+
+using namespace waran;
+
+codec::SchedRequest make_request(uint32_t n_ues, uint32_t slot) {
+  Xoshiro256 rng(n_ues * 31 + slot);
+  codec::SchedRequest req;
+  req.slot = slot;
+  req.prb_quota = 52;
+  for (uint32_t i = 0; i < n_ues; ++i) {
+    codec::UeInfo ue;
+    ue.rnti = 0x4601 + i;
+    ue.mcs = static_cast<uint32_t>(rng.range(0, 28));
+    ue.cqi = ran::cqi_from_mcs(ue.mcs);
+    ue.buffer_bytes = static_cast<uint32_t>(rng.range(1, 1 << 20));
+    ue.tbs_per_prb = ran::transport_block_bits(ue.mcs, 1);
+    ue.avg_tput_bps = rng.uniform() * 3e7;
+    ue.achievable_bps = ran::transport_block_bits(ue.mcs, 52) * 1000.0;
+    req.ues.push_back(ue);
+  }
+  return req;
+}
+
+void BM_Native(benchmark::State& state) {
+  std::string kind = state.range(0) == 0 ? "rr" : state.range(0) == 1 ? "pf" : "mt";
+  auto sched = sched::make_native_scheduler(kind);
+  codec::SchedRequest req = make_request(static_cast<uint32_t>(state.range(1)), 3);
+  for (auto _ : state) {
+    auto resp = sched->schedule(req);
+    benchmark::DoNotOptimize(resp);
+  }
+  state.SetLabel("native:" + kind);
+}
+
+void BM_Wasm(benchmark::State& state) {
+  std::string kind = state.range(0) == 0 ? "rr" : state.range(0) == 1 ? "pf" : "mt";
+  plugin::PluginManager mgr;
+  auto bytes = sched::plugins::scheduler(kind);
+  if (!bytes.ok() || !mgr.install("s", *bytes).ok()) std::abort();
+  sched::WasmIntraScheduler sched(mgr, "s");
+  codec::SchedRequest req = make_request(static_cast<uint32_t>(state.range(1)), 3);
+  for (auto _ : state) {
+    auto resp = sched.schedule(req);
+    benchmark::DoNotOptimize(resp);
+  }
+  state.SetLabel("wasm:" + kind);
+}
+
+void args(benchmark::internal::Benchmark* b) {
+  for (int kind = 0; kind < 3; ++kind) {
+    for (int ues : {1, 10, 20}) b->Args({kind, ues});
+  }
+}
+
+BENCHMARK(BM_Native)->Apply(args);
+BENCHMARK(BM_Wasm)->Apply(args);
+
+}  // namespace

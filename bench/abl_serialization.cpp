@@ -1,0 +1,81 @@
+// Ablation — serialization formats on the plugin boundary (paper §4B lets
+// operators pick the format; §5E's measured time includes it). Encode +
+// decode cost of the scheduler request for each codec at several UE counts,
+// plus the encoded sizes.
+#include <benchmark/benchmark.h>
+
+#include "codec/codec.h"
+#include "common/rng.h"
+#include "ran/phy_tables.h"
+
+namespace {
+
+using namespace waran;
+
+codec::SchedRequest make_request(uint32_t n_ues) {
+  Xoshiro256 rng(n_ues);
+  codec::SchedRequest req;
+  req.slot = 777;
+  req.prb_quota = 52;
+  for (uint32_t i = 0; i < n_ues; ++i) {
+    codec::UeInfo ue;
+    ue.rnti = 0x4601 + i;
+    ue.mcs = static_cast<uint32_t>(rng.range(0, 28));
+    ue.cqi = ran::cqi_from_mcs(ue.mcs);
+    ue.buffer_bytes = static_cast<uint32_t>(rng.range(0, 1 << 20));
+    ue.tbs_per_prb = ran::transport_block_bits(ue.mcs, 1);
+    ue.avg_tput_bps = rng.uniform() * 3e7;
+    ue.achievable_bps = rng.uniform() * 4.5e7;
+    req.ues.push_back(ue);
+  }
+  return req;
+}
+
+void BM_EncodeRequest(benchmark::State& state) {
+  auto kind = static_cast<codec::CodecKind>(state.range(0));
+  auto codec = codec::make_codec(kind);
+  codec::SchedRequest req = make_request(static_cast<uint32_t>(state.range(1)));
+  size_t bytes = 0;
+  for (auto _ : state) {
+    auto out = codec->encode_request(req);
+    bytes = out.size();
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetLabel(std::string(codec->name()) + " " + std::to_string(bytes) + "B");
+}
+
+void BM_DecodeRequest(benchmark::State& state) {
+  auto kind = static_cast<codec::CodecKind>(state.range(0));
+  auto codec = codec::make_codec(kind);
+  auto bytes = codec->encode_request(make_request(static_cast<uint32_t>(state.range(1))));
+  for (auto _ : state) {
+    auto req = codec->decode_request(bytes);
+    benchmark::DoNotOptimize(req);
+  }
+  state.SetLabel(codec->name());
+}
+
+void BM_RoundTripResponse(benchmark::State& state) {
+  auto kind = static_cast<codec::CodecKind>(state.range(0));
+  auto codec = codec::make_codec(kind);
+  codec::SchedResponse resp;
+  for (uint32_t i = 0; i < 20; ++i) resp.allocs.push_back({0x4601 + i, 2 + i % 5});
+  for (auto _ : state) {
+    auto bytes = codec->encode_response(resp);
+    auto back = codec->decode_response(bytes);
+    benchmark::DoNotOptimize(back);
+  }
+  state.SetLabel(codec->name());
+}
+
+void codec_args(benchmark::internal::Benchmark* b) {
+  for (int kind = 0; kind < 4; ++kind) {
+    for (int ues : {1, 10, 20, 50}) b->Args({kind, ues});
+  }
+}
+
+BENCHMARK(BM_EncodeRequest)->Apply(codec_args);
+BENCHMARK(BM_DecodeRequest)->Apply(codec_args);
+BENCHMARK(BM_RoundTripResponse)->DenseRange(0, 3);
+
+}  // namespace

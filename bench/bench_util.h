@@ -1,0 +1,46 @@
+// Shared helpers for the figure-reproduction harnesses.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "plugin/manager.h"
+#include "ran/mac.h"
+#include "sched/plugins.h"
+#include "sched/wasm_sched.h"
+
+namespace waran::bench {
+
+inline double now_us() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Installs the named scheduler plugin (rr/pf/mt) into `mgr` under `slot`,
+/// aborting the bench on failure.
+inline void install_sched_plugin(plugin::PluginManager& mgr, const std::string& slot,
+                                 const std::string& kind) {
+  auto bytes = sched::plugins::scheduler(kind);
+  if (!bytes.ok()) {
+    std::fprintf(stderr, "FATAL: compiling %s plugin: %s\n", kind.c_str(),
+                 bytes.error().message.c_str());
+    std::abort();
+  }
+  auto st = mgr.has(slot) ? mgr.swap(slot, *bytes) : mgr.install(slot, *bytes);
+  if (!st.ok()) {
+    std::fprintf(stderr, "FATAL: installing %s plugin: %s\n", kind.c_str(),
+                 st.error().message.c_str());
+    std::abort();
+  }
+}
+
+inline void check(const Status& st, const char* what) {
+  if (!st.ok()) {
+    std::fprintf(stderr, "FATAL: %s: %s\n", what, st.error().message.c_str());
+    std::abort();
+  }
+}
+
+}  // namespace waran::bench

@@ -1,0 +1,75 @@
+// §5D trap-containment table (text result in the paper, no figure).
+//
+// Paper: "We test improper instructions such as null pointer dereference,
+// out-of-bounds memory access, and double free. In all cases, the gNB host
+// catches the exception and continues running, whereas running the improper
+// code directly on the host causes a crash."
+//
+// For each fault class we run the malicious plugin inside a live gNB MAC,
+// verify the fault is caught, and verify the gNB keeps scheduling (the
+// host-side fallback serves the slice). Running the equivalent C code
+// natively would segfault / corrupt the heap — which is exactly why the
+// native arm is *not* executed here; the TrackedHeap double-free detection
+// in tests/common_test.cpp stands in for it.
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "sched/native.h"
+
+using namespace waran;
+
+int main() {
+  struct Case {
+    const char* kind;
+    const char* description;
+  };
+  const Case cases[] = {
+      {"null", "wild/null pointer dereference"},
+      {"oob", "out-of-bounds memory access"},
+      {"doublefree", "double free (caught by plugin allocator)"},
+      {"loop", "infinite loop (fuel/deadline exceeded)"},
+      {"shortoutput", "truncated response payload"},
+      {"badalloc", "forged RNTIs / oversized grants"},
+  };
+
+  std::printf("# §5D — Fault containment: malicious plugin vs gNB host\n");
+  std::printf("%-12s %-42s %-16s %-10s %-12s\n", "fault", "description", "outcome",
+              "gNB alive", "UE served");
+
+  bool all_contained = true;
+  for (const Case& c : cases) {
+    ran::GnbMac mac(ran::MacConfig{});
+    mac.set_inter_scheduler(std::make_unique<sched::WeightedShareInterScheduler>());
+
+    plugin::PluginManager mgr;
+    auto bytes = sched::plugins::faulty(c.kind);
+    if (!bytes.ok() || !mgr.install("evil", *bytes).ok()) {
+      std::printf("%-12s %-42s %-16s\n", c.kind, c.description, "LOAD-FAILED");
+      all_contained = false;
+      continue;
+    }
+    ran::SliceConfig slice;
+    slice.slice_id = 1;
+    mac.add_slice(slice, std::make_unique<sched::WasmIntraScheduler>(mgr, "evil"));
+    uint32_t rnti = mac.add_ue(1, ran::Channel::pinned_mcs(20),
+                               ran::TrafficSource::full_buffer());
+
+    Status st = mac.run_slots(100);
+    const ran::SliceStats* stats = mac.slice_stats(1);
+    bool gnb_alive = st.ok();
+    bool ue_served = mac.ue(rnti) != nullptr && mac.ue(rnti)->delivered_bits() > 0;
+    bool caught = stats->scheduler_faults > 0 || stats->sanitized_allocs > 0;
+    const char* outcome = !caught            ? "NOT-DETECTED"
+                          : stats->scheduler_faults > 0 ? "trapped"
+                                                        : "sanitized";
+    std::printf("%-12s %-42s %-16s %-10s %-12s\n", c.kind, c.description, outcome,
+                gnb_alive ? "yes" : "NO", ue_served ? "yes" : "NO");
+    all_contained = all_contained && caught && gnb_alive && ue_served;
+  }
+
+  std::printf("# containment %s: every fault caught, gNB kept scheduling "
+              "(native equivalent would crash the gNB process)\n",
+              all_contained ? "OK" : "DEGRADED");
+  return all_contained ? 0 : 1;
+}

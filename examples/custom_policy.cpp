@@ -1,0 +1,164 @@
+// Write-your-own-policy walkthrough: the workflow the paper's MVNO story
+// enables. An operator invents a "latency-tier" scheduler — premium UEs
+// (identified by an RNTI range) are always drained first, best-effort UEs
+// split the remainder round-robin — writes it in W, ships it as a plugin,
+// and A/B-tests it against plain RR on the same traffic, live.
+//
+// No gNB code was modified to add this policy; that is the WA-RAN pitch.
+//
+// Run: ./build/examples/custom_policy
+#include <cstdio>
+#include <memory>
+
+#include "plugin/manager.h"
+#include "ran/mac.h"
+#include "sched/native.h"
+#include "sched/wasm_sched.h"
+#include "wcc/compiler.h"
+
+using namespace waran;
+
+namespace {
+
+// The operator's novel policy, authored in W against the documented wire
+// layout (doc/wcc.md). Premium = RNTI < 0x4700.
+constexpr char kLatencyTierSource[] = R"(
+fn prbs_to_drain(buffer: i32, tbs: i32) -> i32 {
+  return i32((i64(buffer) * i64(8) + i64(tbs) - i64(1)) / i64(tbs));
+}
+
+export fn schedule() -> i32 {
+  var nb: i32 = input_len();
+  input_read(0, 0, nb);
+  var slot: i32 = load32(0);
+  var quota: i32 = load32(4);
+  var n: i32 = load32(8);
+  var out: i32 = 200000;
+  var count: i32 = 0;
+  var remaining: i32 = quota;
+
+  // Pass 1: drain premium UEs (RNTI < 0x4700) completely, first.
+  var i: i32 = 0;
+  while (i < n && remaining > 0) {
+    var rec: i32 = 12 + i * 40;
+    if (load32(rec) < 18176 && load32(rec + 12) > 0 && load32(rec + 16) > 0) {
+      var grant: i32 = prbs_to_drain(load32(rec + 12), load32(rec + 16));
+      if (grant > remaining) { grant = remaining; }
+      store32(out + 4 + count * 8, load32(rec));
+      store32(out + 4 + count * 8 + 4, grant);
+      count = count + 1;
+      remaining = remaining - grant;
+    }
+    i = i + 1;
+  }
+
+  // Pass 2: best-effort UEs share what is left, round-robin style.
+  var n_be: i32 = 0;
+  i = 0;
+  while (i < n) {
+    var rec2: i32 = 12 + i * 40;
+    if (load32(rec2) >= 18176 && load32(rec2 + 12) > 0) { n_be = n_be + 1; }
+    i = i + 1;
+  }
+  if (n_be > 0 && remaining > 0) {
+    var share: i32 = remaining / n_be;
+    var extra: i32 = remaining % n_be;
+    var k: i32 = 0;
+    i = 0;
+    while (i < n) {
+      var rec3: i32 = 12 + i * 40;
+      if (load32(rec3) >= 18176 && load32(rec3 + 12) > 0) {
+        var prbs: i32 = share;
+        if ((k + slot) % n_be < extra) { prbs = prbs + 1; }
+        if (prbs > 0) {
+          store32(out + 4 + count * 8, load32(rec3));
+          store32(out + 4 + count * 8 + 4, prbs);
+          count = count + 1;
+        }
+        k = k + 1;
+      }
+      i = i + 1;
+    }
+  }
+  store32(out, count);
+  output_write(out, 4 + count * 8);
+  return 0;
+}
+)";
+
+struct CellRun {
+  double premium_rate;
+  double best_effort_rate;
+};
+
+CellRun run_policy(std::unique_ptr<ran::IntraSliceScheduler> sched) {
+  ran::GnbMac mac(ran::MacConfig{});
+  mac.set_inter_scheduler(std::make_unique<sched::WeightedShareInterScheduler>());
+  ran::SliceConfig cfg;
+  cfg.slice_id = 1;
+  mac.add_slice(cfg, std::move(sched));
+  // RNTIs are assigned from 0x4601: the first two UEs land in the premium
+  // range, the next three are best-effort (>= 0x4700 after re-numbering is
+  // not automatic, so attach filler UEs to push RNTIs up).
+  uint32_t premium1 = mac.add_ue(1, ran::Channel::pinned_mcs(22),
+                                 ran::TrafficSource::cbr(3e6));
+  uint32_t premium2 = mac.add_ue(1, ran::Channel::pinned_mcs(18),
+                                 ran::TrafficSource::cbr(3e6));
+  // Best-effort heavy hitters: force their RNTIs past 0x4700.
+  std::vector<uint32_t> be;
+  while (true) {
+    uint32_t rnti = mac.add_ue(1, ran::Channel::pinned_mcs(24),
+                               ran::TrafficSource::full_buffer());
+    if (rnti >= 0x4700) {
+      be.push_back(rnti);
+      if (be.size() == 2) break;
+    } else {
+      (void)mac.remove_ue(rnti);
+    }
+  }
+  if (!mac.run_slots(5000).ok()) return {0, 0};
+  double now = mac.now_s();
+  CellRun result;
+  result.premium_rate =
+      (mac.ue(premium1)->rate_bps(now) + mac.ue(premium2)->rate_bps(now)) / 1e6;
+  result.best_effort_rate =
+      (mac.ue(be[0])->rate_bps(now) + mac.ue(be[1])->rate_bps(now)) / 1e6;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== An operator invents a 'latency-tier' policy in W ==\n");
+  auto bytes = wcc::compile(kLatencyTierSource);
+  if (!bytes.ok()) {
+    std::printf("compile error: %s\n", bytes.error().message.c_str());
+    return 1;
+  }
+  std::printf("compiled to %zu bytes of wasm; deploying as a plugin...\n\n",
+              bytes->size());
+
+  plugin::PluginManager mgr;
+  if (!mgr.install("latency-tier", *bytes).ok()) return 1;
+
+  std::printf("%-22s %22s %22s\n", "policy", "premium CBR [Mb/s]",
+              "best-effort [Mb/s]");
+  CellRun baseline = run_policy(std::make_unique<sched::RrScheduler>());
+  std::printf("%-22s %22.2f %22.2f\n", "rr (baseline)", baseline.premium_rate,
+              baseline.best_effort_rate);
+  CellRun custom = run_policy(
+      std::make_unique<sched::WasmIntraScheduler>(mgr, "latency-tier"));
+  std::printf("%-22s %22.2f %22.2f\n", "latency-tier (wasm)", custom.premium_rate,
+              custom.best_effort_rate);
+
+  std::printf("\nRR gives each UE an equal PRB share, wasting the slices the\n"
+              "need-limited premium UEs cannot use; the custom policy drains\n"
+              "premiums first (same 6 Mb/s guarantee) and hands every leftover\n"
+              "PRB to best-effort traffic (+%.0f%% cell utilization).\n",
+              100.0 * (custom.best_effort_rate - baseline.best_effort_rate) /
+                  (baseline.premium_rate + baseline.best_effort_rate));
+  bool premium_protected = custom.premium_rate >= baseline.premium_rate - 0.2 &&
+                           custom.premium_rate > 5.5;
+  std::printf("premium tier protected: %s\n", premium_protected ? "yes" : "NO");
+  return premium_protected ? 0 : 1;
+}

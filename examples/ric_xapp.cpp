@@ -1,0 +1,120 @@
+// Near-RT RIC example (the paper's §4B design, Fig. 4): a gNB and a RIC
+// from "different vendors" interoperate because the wire protocol lives in
+// communication plugins on both sides; xApps run sandboxed in the RIC.
+//
+//   - the SLA xApp drives a starved slice to its 12 Mb/s target,
+//   - the traffic-steering xApp moves a cell-edge UE to a second gNB,
+//   - a malicious flood of corrupt frames is absorbed by the comm plugin.
+//
+// Run: ./build/examples/ric_xapp
+#include <cstdio>
+#include <memory>
+
+#include "ric/gnb_agent.h"
+#include "ric/near_rt_ric.h"
+#include "ric/plugin_sources.h"
+#include "ric/quota_inter.h"
+#include "sched/native.h"
+
+using namespace waran;
+
+namespace {
+
+struct Cell {
+  std::unique_ptr<ran::GnbMac> mac;
+  ric::QuotaTableInterScheduler* quotas = nullptr;
+  std::unique_ptr<ric::GnbAgent> agent;
+};
+
+Cell make_cell(uint32_t cell_id, ric::Duplex& link, ric::Duplex::Side side) {
+  Cell cell;
+  cell.mac = std::make_unique<ran::GnbMac>(ran::MacConfig{});
+  auto quotas = std::make_unique<ric::QuotaTableInterScheduler>();
+  cell.quotas = quotas.get();
+  cell.mac->set_inter_scheduler(std::move(quotas));
+  ran::SliceConfig slice;
+  slice.slice_id = 1;
+  slice.target_rate_bps = 12e6;
+  cell.mac->add_slice(slice, std::make_unique<sched::RrScheduler>());
+  cell.agent = std::make_unique<ric::GnbAgent>(cell_id, *cell.mac, cell.quotas,
+                                               link, side);
+  return cell;
+}
+
+}  // namespace
+
+int main() {
+  // Cell 0 talks to the RIC; cell 1 is the handover target.
+  ric::Duplex link;
+  Cell cell0 = make_cell(0, link, ric::Duplex::Side::kA);
+  ric::NearRtRic ric(link, ric::Duplex::Side::kB);
+
+  ran::GnbMac target_mac(ran::MacConfig{});
+  target_mac.set_inter_scheduler(std::make_unique<sched::WeightedShareInterScheduler>());
+  ran::SliceConfig tslice;
+  tslice.slice_id = 1;
+  target_mac.add_slice(tslice, std::make_unique<sched::RrScheduler>());
+
+  auto comm = ric::plugin_sources::comm_framing();
+  auto ctl = ric::plugin_sources::control_dispatch();
+  auto sla = ric::plugin_sources::sla_xapp();
+  auto steer = ric::plugin_sources::steer_xapp();
+  if (!comm.ok() || !ctl.ok() || !sla.ok() || !steer.ok()) return 1;
+  if (!cell0.agent->load_comm_plugin(*comm).ok()) return 1;
+  if (!cell0.agent->load_control_plugin(*ctl).ok()) return 1;
+  if (!ric.load_comm_plugin(*comm).ok()) return 1;
+  if (!ric.add_xapp("sla", *sla).ok()) return 1;
+  if (!ric.add_xapp("steer", *steer).ok()) return 1;
+
+  // Handover: the simulator's "X2": move the UE between MAC instances.
+  cell0.agent->set_handover_handler([&](uint32_t rnti, uint32_t target_cell) {
+    std::printf("  [HO] RIC ordered handover of rnti 0x%x to cell %u\n", rnti,
+                target_cell);
+    (void)cell0.mac->remove_ue(rnti);
+    target_mac.add_ue(1, ran::Channel::pinned_mcs(26), ran::TrafficSource::full_buffer());
+  });
+
+  // Two UEs: one healthy, one drifting toward the neighbor cell.
+  uint32_t healthy = cell0.mac->add_ue(1, ran::Channel::pinned_mcs(26),
+                                       ran::TrafficSource::full_buffer());
+  uint32_t edge = cell0.mac->add_ue(1, ran::Channel::pinned_mcs(12),
+                                    ran::TrafficSource::full_buffer());
+  cell0.agent->set_ue_radio(healthy, {-75, -110, 1});
+  cell0.agent->set_ue_radio(edge, {-101, -88, 1});  // neighbor is 13 dB better
+
+  cell0.quotas->set_quota(1, 3);  // start the slice starved
+  std::printf("== Closed loop: SLA xApp raises quota; steering xApp hands over ==\n");
+  for (int round = 1; round <= 40; ++round) {
+    if (!cell0.mac->run_slots(100).ok()) return 1;
+    if (!cell0.agent->send_indication().ok()) return 1;
+    if (!ric.poll().ok()) return 1;
+    if (!cell0.agent->poll().ok()) return 1;
+    if (round % 10 == 0) {
+      std::printf("round %2d: slice rate %.2f Mb/s (target 12), "
+                  "quota updates so far: %llu\n",
+                  round, cell0.mac->slice_rate_bps(1) / 1e6,
+                  static_cast<unsigned long long>(cell0.agent->stats().quota_updates));
+    }
+  }
+  std::printf("handovers executed: %llu (edge UE now lives in cell 1: %zu UEs)\n",
+              static_cast<unsigned long long>(cell0.agent->stats().handovers),
+              target_mac.ue_rntis().size());
+
+  std::printf("\n== Adversary floods the RIC with corrupted frames ==\n");
+  link.set_tap([](std::vector<uint8_t>& frame, bool&) {
+    if (frame.size() > 14) frame[14] ^= 0x5a;  // corrupt every frame
+  });
+  for (int i = 0; i < 20; ++i) {
+    if (!cell0.mac->run_slots(10).ok()) return 1;
+    if (!cell0.agent->send_indication().ok()) return 1;
+    if (!ric.poll().ok()) return 1;
+  }
+  link.set_tap(nullptr);
+  std::printf("frames rejected inside the RIC's comm-plugin sandbox: %llu "
+              "(host parser untouched)\n",
+              static_cast<unsigned long long>(ric.stats().frames_rejected));
+  std::printf("RIC still healthy: %llu indications processed, %llu xApp faults\n",
+              static_cast<unsigned long long>(ric.stats().indications_processed),
+              static_cast<unsigned long long>(ric.stats().xapp_faults));
+  return 0;
+}

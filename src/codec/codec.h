@@ -1,0 +1,46 @@
+// Pluggable serialization for the plugin boundary. The paper's point (§4B)
+// is that WA-RAN lets operators pick "data serialization formats" freely —
+// ASN.1, JSON, protobuf — because the codec runs inside/beside the plugin
+// rather than being baked into a standardized interface. We provide four:
+//
+//   WireCodec   — flat little-endian records, the zero-copy layout plugins
+//                 read directly out of linear memory (the default).
+//   TlvCodec    — tag-length-value, ASN.1-flavoured.
+//   JsonCodec   — textual JSON (via the in-repo minimal JSON library).
+//   PbLiteCodec — protobuf-style varint field encoding.
+//
+// bench/abl_serialization compares their costs on this exact schema.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "codec/messages.h"
+#include "common/result.h"
+
+namespace waran::codec {
+
+class Codec {
+ public:
+  virtual ~Codec() = default;
+
+  virtual const char* name() const = 0;
+
+  virtual std::vector<uint8_t> encode_request(const SchedRequest& req) const = 0;
+  virtual Result<SchedRequest> decode_request(std::span<const uint8_t> bytes) const = 0;
+
+  virtual std::vector<uint8_t> encode_response(const SchedResponse& resp) const = 0;
+  virtual Result<SchedResponse> decode_response(std::span<const uint8_t> bytes) const = 0;
+};
+
+enum class CodecKind { kWire, kTlv, kJson, kPbLite };
+
+/// Factory. The returned codec is stateless and thread-compatible.
+std::unique_ptr<Codec> make_codec(CodecKind kind);
+
+const char* to_string(CodecKind kind);
+
+}  // namespace waran::codec

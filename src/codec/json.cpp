@@ -1,0 +1,321 @@
+#include "codec/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace waran::codec {
+
+namespace {
+const Json& null_json() {
+  static const Json kNull;
+  return kNull;
+}
+}  // namespace
+
+const Json& Json::operator[](const std::string& key) const {
+  if (!is_object()) return null_json();
+  auto it = obj_.find(key);
+  return it == obj_.end() ? null_json() : it->second;
+}
+
+Json& Json::set(const std::string& key, Json v) {
+  obj_[key] = std::move(v);
+  return *this;
+}
+
+bool Json::operator==(const Json& other) const {
+  if (type_ != other.type_) return false;
+  switch (type_) {
+    case Type::kNull: return true;
+    case Type::kBool: return bool_ == other.bool_;
+    case Type::kNumber: return num_ == other.num_;
+    case Type::kString: return str_ == other.str_;
+    case Type::kArray: return arr_ == other.arr_;
+    case Type::kObject: return obj_ == other.obj_;
+  }
+  return false;
+}
+
+namespace {
+
+void dump_string(const std::string& s, std::string& out) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void dump_number(double d, std::string& out) {
+  if (std::isnan(d) || std::isinf(d)) {
+    out += "null";  // JSON has no NaN/Inf
+    return;
+  }
+  // Integers print without a fraction; everything else with enough digits
+  // to round-trip.
+  if (d == std::floor(d) && std::fabs(d) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", d);
+    out += buf;
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", d);
+    out += buf;
+  }
+}
+
+void dump_value(const Json& v, std::string& out) {
+  switch (v.type()) {
+    case Json::Type::kNull:
+      out += "null";
+      break;
+    case Json::Type::kBool:
+      out += v.as_bool() ? "true" : "false";
+      break;
+    case Json::Type::kNumber:
+      dump_number(v.as_number(), out);
+      break;
+    case Json::Type::kString:
+      dump_string(v.as_string(), out);
+      break;
+    case Json::Type::kArray: {
+      out += '[';
+      bool first = true;
+      for (const Json& e : v.as_array()) {
+        if (!first) out += ',';
+        first = false;
+        dump_value(e, out);
+      }
+      out += ']';
+      break;
+    }
+    case Json::Type::kObject: {
+      out += '{';
+      bool first = true;
+      for (const auto& [k, e] : v.as_object()) {
+        if (!first) out += ',';
+        first = false;
+        dump_string(k, out);
+        out += ':';
+        dump_value(e, out);
+      }
+      out += '}';
+      break;
+    }
+  }
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<Json> run() {
+    auto v = value();
+    if (!v.ok()) return v;
+    skip_ws();
+    if (pos_ != text_.size()) return err("trailing characters");
+    return v;
+  }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+  int depth_ = 0;
+  static constexpr int kMaxDepth = 128;
+
+  Error err(const std::string& msg) const {
+    return Error::decode("json at offset " + std::to_string(pos_) + ": " + msg);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool consume_word(std::string_view w) {
+    if (text_.substr(pos_, w.size()) == w) {
+      pos_ += w.size();
+      return true;
+    }
+    return false;
+  }
+
+  Result<Json> value() {
+    skip_ws();
+    if (pos_ >= text_.size()) return err("unexpected end of input");
+    if (++depth_ > kMaxDepth) return err("nesting too deep");
+    struct DepthGuard {
+      int& d;
+      ~DepthGuard() { --d; }
+    } guard{depth_};
+
+    char c = text_[pos_];
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') {
+      auto s = string();
+      if (!s.ok()) return s.error();
+      return Json(std::move(*s));
+    }
+    if (consume_word("true")) return Json(true);
+    if (consume_word("false")) return Json(false);
+    if (consume_word("null")) return Json(nullptr);
+    if (c == '-' || (c >= '0' && c <= '9')) return number();
+    return err(std::string("unexpected character '") + c + "'");
+  }
+
+  Result<Json> number() {
+    size_t start = pos_;
+    if (consume('-')) {
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    double d = 0;
+    auto [ptr, ec] =
+        std::from_chars(text_.data() + start, text_.data() + pos_, d);
+    if (ec != std::errc() || ptr != text_.data() + pos_) return err("bad number");
+    return Json(d);
+  }
+
+  Result<std::string> string() {
+    if (!consume('"')) return err("expected string");
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return err("truncated escape");
+        char e = text_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return err("truncated \\u escape");
+            unsigned v = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text_[pos_++];
+              v <<= 4;
+              if (h >= '0' && h <= '9') {
+                v |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                v |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                v |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                return err("bad hex digit in \\u escape");
+              }
+            }
+            // Encode as UTF-8 (BMP only; surrogate pairs unsupported).
+            if (v < 0x80) {
+              out += static_cast<char>(v);
+            } else if (v < 0x800) {
+              out += static_cast<char>(0xc0 | (v >> 6));
+              out += static_cast<char>(0x80 | (v & 0x3f));
+            } else {
+              out += static_cast<char>(0xe0 | (v >> 12));
+              out += static_cast<char>(0x80 | ((v >> 6) & 0x3f));
+              out += static_cast<char>(0x80 | (v & 0x3f));
+            }
+            break;
+          }
+          default:
+            return err("bad escape");
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return err("raw control character in string");
+      } else {
+        out += c;
+      }
+    }
+    return err("unterminated string");
+  }
+
+  Result<Json> array() {
+    consume('[');
+    Json::Array arr;
+    skip_ws();
+    if (consume(']')) return Json(std::move(arr));
+    while (true) {
+      auto v = value();
+      if (!v.ok()) return v;
+      arr.push_back(std::move(*v));
+      skip_ws();
+      if (consume(']')) return Json(std::move(arr));
+      if (!consume(',')) return err("expected ',' or ']'");
+    }
+  }
+
+  Result<Json> object() {
+    consume('{');
+    Json::Object obj;
+    skip_ws();
+    if (consume('}')) return Json(std::move(obj));
+    while (true) {
+      skip_ws();
+      auto k = string();
+      if (!k.ok()) return k.error();
+      skip_ws();
+      if (!consume(':')) return err("expected ':'");
+      auto v = value();
+      if (!v.ok()) return v;
+      obj[std::move(*k)] = std::move(*v);
+      skip_ws();
+      if (consume('}')) return Json(std::move(obj));
+      if (!consume(',')) return err("expected ',' or '}'");
+    }
+  }
+};
+
+}  // namespace
+
+std::string Json::dump() const {
+  std::string out;
+  dump_value(*this, out);
+  return out;
+}
+
+Result<Json> Json::parse(std::string_view text) {
+  Parser p(text);
+  return p.run();
+}
+
+}  // namespace waran::codec

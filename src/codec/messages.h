@@ -1,0 +1,49 @@
+// Message schema crossing the gNB <-> plugin boundary (paper §4A):
+// the inter-slice scheduler hands the plugin the slice's PRB quota and the
+// per-UE state it needs to decide an intra-slice allocation; the plugin
+// returns ordered per-UE PRB grants.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace waran::codec {
+
+/// Per-UE state snapshot, as enumerated in the paper: "channel quality,
+/// buffer status, long-term throughput, and UE identifiers".
+struct UeInfo {
+  uint32_t rnti = 0;            ///< UE identifier (C-RNTI)
+  uint32_t cqi = 0;             ///< channel quality indicator, 0..15
+  uint32_t mcs = 0;             ///< MCS derived from CQI, 0..28
+  uint32_t buffer_bytes = 0;    ///< RLC downlink buffer occupancy
+  uint32_t tbs_per_prb = 0;     ///< bits one PRB carries this slot at `mcs`
+  double avg_tput_bps = 0.0;    ///< long-term (EWMA) throughput
+  double achievable_bps = 0.0;  ///< instantaneous rate if given the full quota
+
+  bool operator==(const UeInfo&) const = default;
+};
+
+/// Request: one intra-slice scheduling decision for one slot.
+struct SchedRequest {
+  uint32_t slot = 0;       ///< slot counter (1 ms at 15 kHz SCS)
+  uint32_t prb_quota = 0;  ///< PRBs granted to this slice by the inter-slice stage
+  std::vector<UeInfo> ues;
+
+  bool operator==(const SchedRequest&) const = default;
+};
+
+/// One grant. Order in the response vector is the allocation priority order.
+struct SchedAlloc {
+  uint32_t rnti = 0;
+  uint32_t prbs = 0;
+
+  bool operator==(const SchedAlloc&) const = default;
+};
+
+struct SchedResponse {
+  std::vector<SchedAlloc> allocs;
+
+  bool operator==(const SchedResponse&) const = default;
+};
+
+}  // namespace waran::codec

@@ -1,0 +1,88 @@
+#include "codec/wire.h"
+
+#include "common/bytes.h"
+
+namespace waran::codec::wire {
+
+std::vector<uint8_t> encode_request(const SchedRequest& req) {
+  ByteWriter w;
+  w.u32le(req.slot);
+  w.u32le(req.prb_quota);
+  w.u32le(static_cast<uint32_t>(req.ues.size()));
+  for (const UeInfo& ue : req.ues) {
+    w.u32le(ue.rnti);
+    w.u32le(ue.cqi);
+    w.u32le(ue.mcs);
+    w.u32le(ue.buffer_bytes);
+    w.u32le(ue.tbs_per_prb);
+    w.u32le(0);  // padding: keep f64 fields 8-aligned in plugin memory
+    w.f64le(ue.avg_tput_bps);
+    w.f64le(ue.achievable_bps);
+  }
+  return w.take();
+}
+
+Result<SchedRequest> decode_request(std::span<const uint8_t> bytes) {
+  ByteReader r(bytes);
+  SchedRequest req;
+  WARAN_TRY(slot, r.u32le());
+  WARAN_TRY(quota, r.u32le());
+  WARAN_TRY(n, r.u32le());
+  req.slot = slot;
+  req.prb_quota = quota;
+  if (static_cast<uint64_t>(n) * kUeRecordSize > r.remaining()) {
+    return Error::decode("wire request: UE count exceeds payload");
+  }
+  req.ues.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    UeInfo ue;
+    WARAN_TRY(rnti, r.u32le());
+    WARAN_TRY(cqi, r.u32le());
+    WARAN_TRY(mcs, r.u32le());
+    WARAN_TRY(buf, r.u32le());
+    WARAN_TRY(tbs, r.u32le());
+    WARAN_CHECK_OK(r.skip(4));  // padding
+    WARAN_TRY(avg, r.f64le());
+    WARAN_TRY(ach, r.f64le());
+    ue.rnti = rnti;
+    ue.cqi = cqi;
+    ue.mcs = mcs;
+    ue.buffer_bytes = buf;
+    ue.tbs_per_prb = tbs;
+    ue.avg_tput_bps = avg;
+    ue.achievable_bps = ach;
+    req.ues.push_back(ue);
+  }
+  if (!r.at_end()) return Error::decode("wire request: trailing bytes");
+  return req;
+}
+
+std::vector<uint8_t> encode_response(const SchedResponse& resp) {
+  ByteWriter w;
+  w.u32le(static_cast<uint32_t>(resp.allocs.size()));
+  for (const SchedAlloc& a : resp.allocs) {
+    w.u32le(a.rnti);
+    w.u32le(a.prbs);
+  }
+  return w.take();
+}
+
+Result<SchedResponse> decode_response(std::span<const uint8_t> bytes) {
+  ByteReader r(bytes);
+  SchedResponse resp;
+  WARAN_TRY(n, r.u32le());
+  if (static_cast<uint64_t>(n) * kAllocRecordSize > r.remaining()) {
+    return Error::decode("wire response: alloc count exceeds payload");
+  }
+  resp.allocs.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    WARAN_TRY(rnti, r.u32le());
+    WARAN_TRY(prbs, r.u32le());
+    resp.allocs.push_back({rnti, prbs});
+  }
+  // Trailing bytes are tolerated: the plugin output window may be larger
+  // than the payload it wrote.
+  return resp;
+}
+
+}  // namespace waran::codec::wire

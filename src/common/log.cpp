@@ -1,0 +1,19 @@
+#include "common/log.h"
+
+#include <cstdio>
+
+namespace waran::log_detail {
+
+LogLevel& level_ref() {
+  static LogLevel level = LogLevel::kWarn;
+  return level;
+}
+
+void emit(LogLevel lvl, std::string_view component, std::string_view msg) {
+  static const char* names[] = {"DEBUG", "INFO", "WARN", "ERROR", "OFF"};
+  std::fprintf(stderr, "[%s] %.*s: %.*s\n", names[static_cast<int>(lvl)],
+               static_cast<int>(component.size()), component.data(),
+               static_cast<int>(msg.size()), msg.data());
+}
+
+}  // namespace waran::log_detail

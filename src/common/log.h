@@ -1,0 +1,32 @@
+// Minimal leveled logger. RAN components log sparingly on the hot path; the
+// default level is kWarn so benches are quiet. Single-threaded by design
+// (matches the slot-loop execution model).
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace waran {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+namespace log_detail {
+LogLevel& level_ref();
+void emit(LogLevel lvl, std::string_view component, std::string_view msg);
+}  // namespace log_detail
+
+inline void set_log_level(LogLevel lvl) { log_detail::level_ref() = lvl; }
+inline LogLevel log_level() { return log_detail::level_ref(); }
+
+/// Usage: WARAN_LOG(kInfo, "mac", "slot " << n << " scheduled " << k);
+#define WARAN_LOG(lvl, component, stream_expr)                                  \
+  do {                                                                          \
+    if (::waran::LogLevel::lvl >= ::waran::log_level()) {                       \
+      std::ostringstream _os;                                                   \
+      _os << stream_expr;                                                       \
+      ::waran::log_detail::emit(::waran::LogLevel::lvl, component, _os.str());  \
+    }                                                                           \
+  } while (0)
+
+}  // namespace waran

@@ -1,0 +1,72 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace waran {
+
+void QuantileAcc::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double QuantileAcc::quantile(double q) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  if (q <= 0.0) return samples_.front();
+  if (q >= 1.0) return samples_.back();
+  size_t rank = static_cast<size_t>(std::ceil(q * static_cast<double>(samples_.size())));
+  if (rank == 0) rank = 1;
+  return samples_[rank - 1];
+}
+
+double QuantileAcc::min() const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  return samples_.front();
+}
+
+double QuantileAcc::max() const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  return samples_.back();
+}
+
+double QuantileAcc::mean() const {
+  if (samples_.empty()) return 0.0;
+  double sum = 0;
+  for (double v : samples_) sum += v;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double QuantileAcc::stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  double m = mean();
+  double acc = 0;
+  for (double v : samples_) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+void RateMeter::add(double t, uint64_t bits) {
+  entries_.push_back({t, bits});
+  window_bits_ += bits;
+  total_bits_ += bits;
+  evict(t);
+}
+
+void RateMeter::evict(double t) const {
+  while (!entries_.empty() && entries_.front().t < t - window_s_) {
+    window_bits_ -= entries_.front().bits;
+    entries_.pop_front();
+  }
+}
+
+double RateMeter::rate_bps(double t) const {
+  evict(t);
+  if (window_s_ <= 0) return 0.0;
+  return static_cast<double>(window_bits_) / window_s_;
+}
+
+}  // namespace waran

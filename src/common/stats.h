@@ -1,0 +1,67 @@
+// Statistics helpers for the evaluation harness: an exact quantile
+// accumulator (the paper reports 50th/99th percentile execution times via
+// Boost Accumulators; we keep all samples and compute exact order statistics)
+// and a windowed rate meter (bit/s over a sliding window, as iperf3 reports).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace waran {
+
+/// Collects double samples and answers exact quantile queries.
+class QuantileAcc {
+ public:
+  void add(double v) {
+    samples_.push_back(v);
+    sorted_ = false;
+  }
+
+  size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  /// q in [0,1]. Nearest-rank on the sorted samples. Returns 0 when empty.
+  double quantile(double q) const;
+  double min() const;
+  double max() const;
+  double mean() const;
+  /// Sample standard deviation (n-1 denominator); 0 for fewer than 2 samples.
+  double stddev() const;
+
+  void clear() {
+    samples_.clear();
+    sorted_ = false;
+  }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+  void ensure_sorted() const;
+};
+
+/// Sliding-window throughput meter: record (time, bits) arrivals, query the
+/// average rate over the trailing window. Times are in seconds, monotone.
+class RateMeter {
+ public:
+  explicit RateMeter(double window_s = 1.0) : window_s_(window_s) {}
+
+  void add(double t, uint64_t bits);
+  /// Average bit/s over [t - window, t].
+  double rate_bps(double t) const;
+  uint64_t total_bits() const { return total_bits_; }
+
+ private:
+  struct Entry {
+    double t;
+    uint64_t bits;
+  };
+  double window_s_;
+  mutable std::deque<Entry> entries_;
+  mutable uint64_t window_bits_ = 0;
+  uint64_t total_bits_ = 0;
+  void evict(double t) const;
+};
+
+}  // namespace waran

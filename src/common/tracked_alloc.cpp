@@ -1,0 +1,31 @@
+#include "common/tracked_alloc.h"
+
+namespace waran {
+
+Result<uint64_t> TrackedHeap::allocate(size_t bytes) {
+  if (bytes == 0) return Error::invalid_argument("zero-byte allocation");
+  uint64_t h = next_handle_++;
+  blocks_.emplace(h, bytes);
+  live_bytes_ += bytes;
+  total_allocated_ += bytes;
+  ++alloc_count_;
+  return h;
+}
+
+Status TrackedHeap::free(uint64_t handle) {
+  auto it = blocks_.find(handle);
+  if (it == blocks_.end()) {
+    return Error::state("double free or invalid free of handle " + std::to_string(handle));
+  }
+  live_bytes_ -= it->second;
+  blocks_.erase(it);
+  ++free_count_;
+  return {};
+}
+
+void TrackedHeap::reset() {
+  blocks_.clear();
+  live_bytes_ = 0;
+}
+
+}  // namespace waran

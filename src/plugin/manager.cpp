@@ -1,0 +1,108 @@
+#include "plugin/manager.h"
+
+#include "common/log.h"
+
+namespace waran::plugin {
+
+Status PluginManager::install(const std::string& slot,
+                              std::span<const uint8_t> module_bytes,
+                              const wasm::Linker& extra_host) {
+  if (slots_.contains(slot)) {
+    return Error::state("slot already exists: " + slot + " (use swap)");
+  }
+  WARAN_TRY(p, Plugin::load(module_bytes, extra_host, default_limits_));
+  Slot s;
+  s.plugin = std::shared_ptr<Plugin>(std::move(p));
+  slots_.emplace(slot, std::move(s));
+  WARAN_LOG(kInfo, "plugin", "installed slot '" << slot << "'");
+  return {};
+}
+
+Status PluginManager::swap(const std::string& slot,
+                           std::span<const uint8_t> module_bytes,
+                           const wasm::Linker& extra_host) {
+  auto it = slots_.find(slot);
+  if (it == slots_.end()) return Error::not_found("no such slot: " + slot);
+  // Build the replacement completely before touching the live slot.
+  WARAN_TRY(p, Plugin::load(module_bytes, extra_host, default_limits_));
+  it->second.plugin = std::shared_ptr<Plugin>(std::move(p));
+  it->second.health.quarantined = false;
+  it->second.health.consecutive_faults = 0;
+  ++it->second.health.swaps;
+  WARAN_LOG(kInfo, "plugin", "hot-swapped slot '" << slot << "'");
+  return {};
+}
+
+Status PluginManager::remove(const std::string& slot) {
+  if (slots_.erase(slot) == 0) return Error::not_found("no such slot: " + slot);
+  return {};
+}
+
+Result<std::vector<uint8_t>> PluginManager::call(const std::string& slot,
+                                                 const std::string& fn,
+                                                 std::span<const uint8_t> input) {
+  auto it = slots_.find(slot);
+  if (it == slots_.end()) return Error::not_found("no such slot: " + slot);
+  Slot& s = it->second;
+  if (s.health.quarantined) {
+    return Error::state("slot '" + slot + "' is quarantined after repeated faults");
+  }
+  ++s.health.calls;
+  auto result = s.plugin->call(fn, input);
+  if (!result.ok()) {
+    if (result.error().code == Error::Code::kState) {
+      // Deliberate rejection: legitimate behaviour (a comm plugin refusing
+      // a corrupt frame must not get itself quarantined).
+      ++s.health.declines;
+      s.health.last_error = result.error().message;
+      return result.error();
+    }
+    ++s.health.faults;
+    ++s.health.consecutive_faults;
+    s.health.last_error = result.error().message;
+    if (s.health.consecutive_faults >= s.plugin->limits().quarantine_after_faults) {
+      s.health.quarantined = true;
+      WARAN_LOG(kWarn, "plugin",
+                "slot '" << slot << "' quarantined after "
+                         << s.health.consecutive_faults
+                         << " consecutive faults: " << s.health.last_error);
+    }
+    return result.error();
+  }
+  s.health.consecutive_faults = 0;
+  return result;
+}
+
+std::vector<std::string> PluginManager::slot_names() const {
+  std::vector<std::string> names;
+  names.reserve(slots_.size());
+  for (const auto& [name, _] : slots_) names.push_back(name);
+  return names;
+}
+
+const SlotHealth* PluginManager::health(const std::string& slot) const {
+  auto it = slots_.find(slot);
+  return it == slots_.end() ? nullptr : &it->second.health;
+}
+
+Status PluginManager::reset_quarantine(const std::string& slot) {
+  auto it = slots_.find(slot);
+  if (it == slots_.end()) return Error::not_found("no such slot: " + slot);
+  it->second.health.quarantined = false;
+  it->second.health.consecutive_faults = 0;
+  return {};
+}
+
+Status PluginManager::set_fuel(const std::string& slot, uint64_t fuel) {
+  auto it = slots_.find(slot);
+  if (it == slots_.end()) return Error::not_found("no such slot: " + slot);
+  it->second.plugin->set_fuel_per_call(fuel);
+  return {};
+}
+
+Plugin* PluginManager::plugin(const std::string& slot) {
+  auto it = slots_.find(slot);
+  return it == slots_.end() ? nullptr : it->second.plugin.get();
+}
+
+}  // namespace waran::plugin

@@ -1,0 +1,84 @@
+// PluginManager: named plugin slots with on-the-fly replacement and fault
+// quarantine.
+//
+// Hot swap (paper §3A "the update can be done on the fly ... without
+// stopping or redeploying gNBs"): swap() fully decodes, validates and
+// instantiates the replacement before it touches the slot, so a broken
+// upload can never take down a working scheduler; the switch itself is a
+// shared_ptr exchange between slot and caller.
+//
+// Quarantine (paper §6A fault tolerance): after `quarantine_after_faults`
+// consecutive faults the slot refuses further calls until reset or swapped,
+// and the embedder falls back to its default policy (the scheduler falls
+// back to host-side round-robin).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "plugin/plugin.h"
+
+namespace waran::plugin {
+
+struct SlotHealth {
+  uint64_t calls = 0;
+  uint64_t faults = 0;            // sandbox faults: traps, fuel, limits
+  uint64_t declines = 0;          // plugin-declared rejections (no quarantine)
+  uint32_t consecutive_faults = 0;
+  uint64_t swaps = 0;
+  bool quarantined = false;
+  std::string last_error;
+};
+
+class PluginManager {
+ public:
+  explicit PluginManager(PluginLimits default_limits = {})
+      : default_limits_(default_limits) {}
+
+  /// Installs a new plugin into `slot` (slot must not exist yet).
+  Status install(const std::string& slot, std::span<const uint8_t> module_bytes,
+                 const wasm::Linker& extra_host = {});
+
+  /// Replaces the plugin in `slot`. The new module is validated and
+  /// instantiated first; on any failure the old plugin keeps running.
+  /// Clears quarantine on success.
+  Status swap(const std::string& slot, std::span<const uint8_t> module_bytes,
+              const wasm::Linker& extra_host = {});
+
+  /// Removes a slot entirely (an MVNO being off-boarded).
+  Status remove(const std::string& slot);
+
+  /// Calls `fn` on the plugin in `slot`. Fault accounting + quarantine are
+  /// applied here; a quarantined slot returns kState immediately.
+  Result<std::vector<uint8_t>> call(const std::string& slot, const std::string& fn,
+                                    std::span<const uint8_t> input);
+
+  bool has(const std::string& slot) const { return slots_.contains(slot); }
+  std::vector<std::string> slot_names() const;
+
+  const SlotHealth* health(const std::string& slot) const;
+  /// Lifts quarantine manually (operator intervention).
+  Status reset_quarantine(const std::string& slot);
+
+  /// Adjusts a slot's per-call fuel budget (driven by FuelGovernor, §6B).
+  Status set_fuel(const std::string& slot, uint64_t fuel);
+
+  /// Direct access for introspection (memory probes in Fig. 5c).
+  Plugin* plugin(const std::string& slot);
+
+ private:
+  struct Slot {
+    std::shared_ptr<Plugin> plugin;
+    SlotHealth health;
+  };
+
+  PluginLimits default_limits_;
+  std::map<std::string, Slot> slots_;
+};
+
+}  // namespace waran::plugin

@@ -1,0 +1,282 @@
+#include "ran/mac.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/log.h"
+#include "ran/phy_tables.h"
+
+namespace waran::ran {
+
+GnbMac::GnbMac(MacConfig config) : config_(config), error_rng_(config.error_seed) {}
+
+void GnbMac::add_slice(const SliceConfig& config,
+                       std::unique_ptr<IntraSliceScheduler> scheduler) {
+  assert(!slices_.contains(config.slice_id));
+  SliceState state;
+  state.config = config;
+  state.scheduler = std::move(scheduler);
+  slices_.emplace(config.slice_id, std::move(state));
+}
+
+Status GnbMac::set_intra_scheduler(uint32_t slice_id,
+                                   std::unique_ptr<IntraSliceScheduler> scheduler) {
+  auto it = slices_.find(slice_id);
+  if (it == slices_.end()) return Error::not_found("no such slice");
+  it->second.scheduler = std::move(scheduler);
+  return {};
+}
+
+void GnbMac::set_inter_scheduler(std::unique_ptr<InterSliceScheduler> scheduler) {
+  inter_ = std::move(scheduler);
+}
+
+void GnbMac::set_mcs_table(McsTable table) {
+  mcs_table_ = table;
+  for (auto& [rnti, ue] : ues_) ue->channel().set_mcs_table(table);
+}
+
+uint32_t GnbMac::add_ue(uint32_t slice_id, Channel channel, TrafficSource traffic) {
+  assert(slices_.contains(slice_id));
+  channel.set_mcs_table(mcs_table_);
+  uint32_t rnti = next_rnti_++;
+  ues_.emplace(rnti, std::make_unique<UeContext>(rnti, slice_id, std::move(channel),
+                                                 std::move(traffic),
+                                                 config_.pf_time_constant_slots));
+  return rnti;
+}
+
+Status GnbMac::remove_ue(uint32_t rnti) {
+  if (ues_.erase(rnti) == 0) return Error::not_found("no such UE");
+  return {};
+}
+
+codec::SchedRequest GnbMac::build_request(const SliceState& slice, uint32_t quota) const {
+  codec::SchedRequest req;
+  req.slot = static_cast<uint32_t>(slot_);
+  req.prb_quota = quota;
+  double slots_per_s = 1e6 / config_.slot_us;
+  for (const auto& [rnti, ue] : ues_) {
+    if (ue->slice_id() != slice.config.slice_id) continue;
+    if (ue->buffer_bytes() == 0) continue;
+    codec::UeInfo info;
+    info.rnti = rnti;
+    info.cqi = ue->channel().cqi();
+    info.mcs = ue->channel().mcs();
+    info.buffer_bytes = ue->buffer_bytes();
+    info.tbs_per_prb = transport_block_bits(info.mcs, 1, mcs_table_);
+    info.avg_tput_bps = ue->avg_tput_bps();
+    info.achievable_bps = transport_block_bits(info.mcs, quota, mcs_table_) * slots_per_s;
+    req.ues.push_back(info);
+  }
+  return req;
+}
+
+codec::SchedResponse GnbMac::fallback_round_robin(const codec::SchedRequest& req) {
+  codec::SchedResponse resp;
+  if (req.ues.empty() || req.prb_quota == 0) return resp;
+  uint32_t n = static_cast<uint32_t>(req.ues.size());
+  uint32_t share = req.prb_quota / n;
+  uint32_t extra = req.prb_quota % n;
+  // Rotate the starting UE by slot so leftovers distribute evenly.
+  uint32_t start = req.slot % n;
+  for (uint32_t i = 0; i < n; ++i) {
+    const codec::UeInfo& ue = req.ues[(start + i) % n];
+    uint32_t prbs = share + (i < extra ? 1 : 0);
+    if (prbs > 0) resp.allocs.push_back({ue.rnti, prbs});
+  }
+  return resp;
+}
+
+void GnbMac::apply_response(SliceState& slice, const codec::SchedRequest& req,
+                            const codec::SchedResponse& resp,
+                            std::map<uint32_t, SlotDelivery>& delivered) {
+  uint32_t remaining = req.prb_quota;
+  for (const codec::SchedAlloc& alloc : resp.allocs) {
+    if (remaining == 0) break;
+    if (alloc.prbs == 0) continue;
+    auto it = ues_.find(alloc.rnti);
+    if (it == ues_.end() || it->second->slice_id() != slice.config.slice_id ||
+        (it->second->buffer_bytes() == 0 && !it->second->harq_pending())) {
+      // Plugin referenced a UE it does not own / that asked for nothing:
+      // sanitize by dropping the grant (§6A).
+      ++slice.stats.sanitized_allocs;
+      continue;
+    }
+    uint32_t prbs = alloc.prbs;
+    if (prbs > remaining) {
+      // Over-allocation: clamp rather than fault.
+      ++slice.stats.sanitized_allocs;
+      prbs = remaining;
+    }
+    remaining -= prbs;
+    UeContext& ue = *it->second;
+
+    if (config_.channel_errors && ue.harq_pending()) {
+      // The grant retransmits the pending TB. Chase combining: every
+      // retransmission lowers the residual error multiplicatively.
+      double p_fail = ue.channel().bler();
+      for (uint32_t a = 0; a < ue.harq_attempts(); ++a) p_fail *= ue.channel().bler();
+      if (error_rng_.uniform() < p_fail) {
+        ue.harq_retry();
+        ++slice.stats.harq_retx;
+        if (ue.harq_attempts() > config_.max_harq_attempts) {
+          ue.harq_finish();  // give up; upper layers would recover
+          ++slice.stats.tb_drops;
+        }
+      } else {
+        delivered[alloc.rnti].harq_bits += ue.harq_finish();
+      }
+      continue;
+    }
+
+    uint32_t tbs = transport_block_bits(ue.channel().mcs(), prbs, mcs_table_);
+    uint32_t deliverable = std::min<uint64_t>(tbs, static_cast<uint64_t>(ue.buffer_bytes()) * 8);
+    if (config_.channel_errors && error_rng_.uniform() < ue.channel().bler()) {
+      // The TB leaves the RLC queue either way (it was transmitted); with
+      // HARQ it parks in the retransmission buffer, without it it is lost.
+      ue.harq_start(deliverable);
+      if (config_.enable_harq) {
+        ++slice.stats.harq_retx;
+      } else {
+        ue.harq_finish();
+        ++slice.stats.tb_drops;
+      }
+    } else {
+      delivered[alloc.rnti].fresh_bits += deliverable;
+    }
+  }
+}
+
+Status GnbMac::run_slot() {
+  if (inter_ == nullptr) return Error::state("no inter-slice scheduler configured");
+
+  // Phase 1: arrivals + channel.
+  for (auto& [rnti, ue] : ues_) ue->begin_slot(config_.slot_us);
+
+  // Phase 2: inter-slice quotas.
+  std::vector<SliceDemand> demands;
+  std::vector<SliceState*> order;
+  demands.reserve(slices_.size());
+  double now = now_s();
+  for (auto& [id, slice] : slices_) {
+    SliceDemand d;
+    d.config = &slice.config;
+    double tbs_sum = 0;
+    for (const auto& [rnti, ue] : ues_) {
+      if (ue->slice_id() != id) continue;
+      d.backlog_bytes += ue->buffer_bytes();
+      d.current_rate_bps += ue->rate_bps(now);
+      if (ue->buffer_bytes() > 0) {
+        ++d.active_ues;
+        tbs_sum += transport_block_bits(ue->channel().mcs(), 1, mcs_table_);
+      }
+    }
+    if (d.active_ues > 0) d.est_bits_per_prb = tbs_sum / d.active_ues;
+    demands.push_back(d);
+    order.push_back(&slice);
+  }
+  std::vector<uint32_t> quotas = inter_->allocate(config_.n_prbs, demands);
+  if (quotas.size() != order.size()) {
+    return Error::internal("inter-slice scheduler returned wrong quota count");
+  }
+
+  // Phases 3+4 per slice.
+  std::map<uint32_t, SlotDelivery> delivered;
+  for (size_t i = 0; i < order.size(); ++i) {
+    SliceState& slice = *order[i];
+    slice.stats.last_quota = quotas[i];
+    if (quotas[i] == 0 || demands[i].active_ues == 0) continue;
+    codec::SchedRequest req = build_request(slice, quotas[i]);
+    if (req.ues.empty()) continue;
+    ++slice.stats.slots_scheduled;
+
+    codec::SchedResponse resp;
+    auto result = slice.scheduler->schedule(req);
+    if (result.ok()) {
+      resp = std::move(*result);
+    } else {
+      // Contained fault: host-side default scheduler takes this slot (§6A).
+      ++slice.stats.scheduler_faults;
+      slice.stats.last_error = result.error().message;
+      WARAN_LOG(kDebug, "mac",
+                "slice " << slice.config.slice_id
+                         << " scheduler fault: " << result.error().message);
+      resp = fallback_round_robin(req);
+    }
+    apply_response(slice, req, resp, delivered);
+  }
+
+  // Deliver (every UE ticks its EWMA, scheduled or not).
+  double slots_per_s = 1e6 / config_.slot_us;
+  double deliver_time = now_s();
+  for (auto& [rnti, ue] : ues_) {
+    auto it = delivered.find(rnti);
+    if (it == delivered.end()) {
+      ue->complete_slot(0, 0, deliver_time, slots_per_s);
+    } else {
+      ue->complete_slot(it->second.fresh_bits, it->second.harq_bits, deliver_time,
+                        slots_per_s);
+    }
+  }
+
+  ++slot_;
+  return {};
+}
+
+Status GnbMac::run_slots(uint32_t n) {
+  for (uint32_t i = 0; i < n; ++i) {
+    WARAN_CHECK_OK(run_slot());
+  }
+  return {};
+}
+
+const UeContext* GnbMac::ue(uint32_t rnti) const {
+  auto it = ues_.find(rnti);
+  return it == ues_.end() ? nullptr : it->second.get();
+}
+
+UeContext* GnbMac::ue(uint32_t rnti) {
+  auto it = ues_.find(rnti);
+  return it == ues_.end() ? nullptr : it->second.get();
+}
+
+std::vector<uint32_t> GnbMac::ue_rntis() const {
+  std::vector<uint32_t> rntis;
+  rntis.reserve(ues_.size());
+  for (const auto& [rnti, _] : ues_) rntis.push_back(rnti);
+  return rntis;
+}
+
+double GnbMac::slice_rate_bps(uint32_t slice_id) const {
+  double sum = 0;
+  double now = now_s();
+  for (const auto& [rnti, ue] : ues_) {
+    if (ue->slice_id() == slice_id) sum += ue->rate_bps(now);
+  }
+  return sum;
+}
+
+const SliceStats* GnbMac::slice_stats(uint32_t slice_id) const {
+  auto it = slices_.find(slice_id);
+  return it == slices_.end() ? nullptr : &it->second.stats;
+}
+
+const SliceConfig* GnbMac::slice_config(uint32_t slice_id) const {
+  auto it = slices_.find(slice_id);
+  return it == slices_.end() ? nullptr : &it->second.config;
+}
+
+std::vector<uint32_t> GnbMac::slice_ids() const {
+  std::vector<uint32_t> ids;
+  ids.reserve(slices_.size());
+  for (const auto& [id, _] : slices_) ids.push_back(id);
+  return ids;
+}
+
+IntraSliceScheduler* GnbMac::intra_scheduler(uint32_t slice_id) {
+  auto it = slices_.find(slice_id);
+  return it == slices_.end() ? nullptr : it->second.scheduler.get();
+}
+
+}  // namespace waran::ran

@@ -1,0 +1,138 @@
+// The gNB MAC downlink slot loop with two-level slice scheduling — the
+// srsRAN-equivalent substrate the paper retrofits (§5A). Each slot:
+//
+//   1. traffic arrivals + channel evolution per UE,
+//   2. inter-slice scheduler divides the carrier's PRBs among slices,
+//   3. each slice's intra-slice scheduler (native or Wasm plugin) orders
+//      its UEs and sizes their grants,
+//   4. the resource allocator applies the grants, clamping to the quota and
+//      sanitizing invalid plugin output (§6A), and delivers transport
+//      blocks into the UEs' throughput accounting.
+//
+// Scheduler faults never abort the slot: the MAC falls back to a host-side
+// round-robin for that slice and counts the event.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "ran/phy_tables.h"
+#include "ran/scheduler_iface.h"
+#include "ran/ue.h"
+
+namespace waran::ran {
+
+struct MacConfig {
+  uint32_t n_prbs = 52;      ///< 10 MHz @ 15 kHz SCS, the paper's testbed
+  uint32_t slot_us = 1000;   ///< 1 ms slots (numerology 0)
+  double pf_time_constant_slots = 100.0;
+
+  /// Transport-block errors drawn from the channel's BLER. Off by default
+  /// (the paper's experiments assume the link-adaptation operating point).
+  bool channel_errors = false;
+  /// With channel_errors: stop-and-wait HARQ with chase combining; without
+  /// it a failed TB is simply lost.
+  bool enable_harq = true;
+  uint32_t max_harq_attempts = 4;
+  uint64_t error_seed = 0x5eed;
+};
+
+/// Per-slice counters the evaluation reads.
+struct SliceStats {
+  uint64_t slots_scheduled = 0;   ///< slots with a nonzero quota and demand
+  uint64_t scheduler_faults = 0;  ///< plugin errors answered with fallback
+  uint64_t sanitized_allocs = 0;  ///< invalid grant entries dropped/clamped
+  uint64_t harq_retx = 0;         ///< transport blocks that needed retransmission
+  uint64_t tb_drops = 0;          ///< TBs lost (HARQ exhausted / HARQ disabled)
+  uint32_t last_quota = 0;
+  std::string last_error;
+};
+
+class GnbMac {
+ public:
+  explicit GnbMac(MacConfig config);
+
+  // --- Topology ------------------------------------------------------------
+
+  /// Registers a slice with its intra-slice scheduler. slice_id must be new.
+  void add_slice(const SliceConfig& config,
+                 std::unique_ptr<IntraSliceScheduler> scheduler);
+
+  /// Hot-swaps the intra-slice scheduler (the MAC-level face of the WA-RAN
+  /// plugin swap; with a Wasm scheduler the plugin manager swap is used
+  /// instead and this is not needed).
+  Status set_intra_scheduler(uint32_t slice_id,
+                             std::unique_ptr<IntraSliceScheduler> scheduler);
+
+  void set_inter_scheduler(std::unique_ptr<InterSliceScheduler> scheduler);
+
+  /// Switches link adaptation between the 64QAM and 256QAM CQI/MCS tables
+  /// on every UE (the RIC's set_cqi_table control action made real).
+  void set_mcs_table(McsTable table);
+  McsTable mcs_table() const { return mcs_table_; }
+
+  /// Adds a UE to a slice; returns its RNTI.
+  uint32_t add_ue(uint32_t slice_id, Channel channel, TrafficSource traffic);
+
+  /// Removes a UE (detach).
+  Status remove_ue(uint32_t rnti);
+
+  // --- Execution -----------------------------------------------------------
+
+  /// Runs one slot. Never fails from plugin faults (those are contained);
+  /// fails only on host misconfiguration.
+  Status run_slot();
+  Status run_slots(uint32_t n);
+
+  // --- Introspection -------------------------------------------------------
+
+  uint64_t slot() const { return slot_; }
+  double now_s() const { return static_cast<double>(slot_) * config_.slot_us * 1e-6; }
+  const MacConfig& config() const { return config_; }
+
+  const UeContext* ue(uint32_t rnti) const;
+  UeContext* ue(uint32_t rnti);
+  std::vector<uint32_t> ue_rntis() const;
+
+  /// Slice throughput over the trailing second (sum of member UE rates).
+  double slice_rate_bps(uint32_t slice_id) const;
+  const SliceStats* slice_stats(uint32_t slice_id) const;
+  const SliceConfig* slice_config(uint32_t slice_id) const;
+  std::vector<uint32_t> slice_ids() const;
+
+  IntraSliceScheduler* intra_scheduler(uint32_t slice_id);
+
+ private:
+  struct SliceState {
+    SliceConfig config;
+    std::unique_ptr<IntraSliceScheduler> scheduler;
+    SliceStats stats;
+  };
+
+  codec::SchedRequest build_request(const SliceState& slice, uint32_t quota) const;
+  /// Host-side round-robin used when a slice's scheduler faults (§6A).
+  static codec::SchedResponse fallback_round_robin(const codec::SchedRequest& req);
+  struct SlotDelivery {
+    uint32_t fresh_bits = 0;  // first transmissions (drain the RLC buffer)
+    uint32_t harq_bits = 0;   // HARQ recoveries (buffer already drained)
+  };
+  void apply_response(SliceState& slice, const codec::SchedRequest& req,
+                      const codec::SchedResponse& resp,
+                      std::map<uint32_t, SlotDelivery>& delivered);
+
+  MacConfig config_;
+  uint64_t slot_ = 0;
+  uint32_t next_rnti_ = 0x4601;  // srsRAN's first C-RNTI
+  std::map<uint32_t, SliceState> slices_;
+  std::map<uint32_t, std::unique_ptr<UeContext>> ues_;
+  std::unique_ptr<InterSliceScheduler> inter_;
+  McsTable mcs_table_ = McsTable::kQam64;
+  Xoshiro256 error_rng_{0x5eed};
+};
+
+}  // namespace waran::ran

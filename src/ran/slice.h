@@ -1,0 +1,22 @@
+// Network-slice (MVNO) configuration. Each slice is an MVNO with a target
+// cumulative downlink rate negotiated with the MNO (paper §5B: "We
+// implemented the MVNOs as network slices with target rates and scheduling
+// metrics").
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace waran::ran {
+
+struct SliceConfig {
+  uint32_t slice_id = 0;
+  std::string name;
+  /// Target cumulative DL rate for the slice (bit/s). The target-rate
+  /// inter-slice scheduler provisions PRBs to meet it.
+  double target_rate_bps = 0.0;
+  /// Relative weight for the weighted-share inter-slice scheduler.
+  double weight = 1.0;
+};
+
+}  // namespace waran::ran

@@ -1,0 +1,64 @@
+#include "ran/traffic.h"
+
+#include <cmath>
+
+namespace waran::ran {
+
+TrafficSource TrafficSource::full_buffer() {
+  TrafficSource t;
+  t.kind_ = Kind::kFullBuffer;
+  return t;
+}
+
+TrafficSource TrafficSource::cbr(double bps) {
+  TrafficSource t;
+  t.kind_ = Kind::kCbr;
+  t.bps_ = bps;
+  return t;
+}
+
+TrafficSource TrafficSource::on_off(double bps, double mean_on_slots,
+                                    double mean_off_slots, uint64_t seed) {
+  TrafficSource t;
+  t.kind_ = Kind::kOnOff;
+  t.bps_ = bps;
+  t.mean_on_ = mean_on_slots;
+  t.mean_off_ = mean_off_slots;
+  t.rng_ = Xoshiro256(seed);
+  t.on_ = true;
+  t.remaining_ = mean_on_slots;
+  return t;
+}
+
+uint32_t TrafficSource::arrivals_bytes(uint32_t slot_us) {
+  switch (kind_) {
+    case Kind::kFullBuffer:
+      // Enough to keep any conceivable TBS busy.
+      return 1 << 20;
+    case Kind::kCbr: {
+      carry_bytes_ += bps_ * slot_us / 8e6;
+      uint32_t whole = static_cast<uint32_t>(carry_bytes_);
+      carry_bytes_ -= whole;
+      return whole;
+    }
+    case Kind::kOnOff: {
+      remaining_ -= 1.0;
+      if (remaining_ <= 0.0) {
+        on_ = !on_;
+        double mean = on_ ? mean_on_ : mean_off_;
+        // Exponential holding time.
+        double u = rng_.uniform();
+        if (u < 1e-12) u = 1e-12;
+        remaining_ = -mean * std::log(u);
+      }
+      if (!on_) return 0;
+      carry_bytes_ += bps_ * slot_us / 8e6;
+      uint32_t whole = static_cast<uint32_t>(carry_bytes_);
+      carry_bytes_ -= whole;
+      return whole;
+    }
+  }
+  return 0;
+}
+
+}  // namespace waran::ran

@@ -1,0 +1,47 @@
+// Downlink traffic generators feeding each UE's RLC buffer. The paper
+// generates DL load with iperf3 on every UE; FullBuffer reproduces a
+// saturating iperf3 flow, Cbr a rate-limited one, and OnOff a bursty IoT
+// pattern (the MVNO-2 "IoT" slice in Fig. 3).
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace waran::ran {
+
+class TrafficSource {
+ public:
+  enum class Kind { kFullBuffer, kCbr, kOnOff };
+
+  /// Saturating source: the buffer never runs dry.
+  static TrafficSource full_buffer();
+
+  /// Constant bit rate `bps`, delivered in per-slot chunks.
+  static TrafficSource cbr(double bps);
+
+  /// Bursty source alternating exponential on/off periods (means in
+  /// slots); while on, it produces `bps`.
+  static TrafficSource on_off(double bps, double mean_on_slots,
+                              double mean_off_slots, uint64_t seed);
+
+  /// Bytes arriving during one slot of `slot_us` microseconds.
+  uint32_t arrivals_bytes(uint32_t slot_us);
+
+  Kind kind() const { return kind_; }
+
+ private:
+  TrafficSource() : rng_(0) {}
+
+  Kind kind_ = Kind::kFullBuffer;
+  double bps_ = 0.0;
+  double carry_bytes_ = 0.0;  // fractional-byte accumulator for CBR
+  // On/off state machine.
+  bool on_ = true;
+  double mean_on_ = 1.0;
+  double mean_off_ = 1.0;
+  double remaining_ = 0.0;
+  Xoshiro256 rng_;
+};
+
+}  // namespace waran::ran

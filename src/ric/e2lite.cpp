@@ -1,0 +1,117 @@
+#include "ric/e2lite.h"
+
+#include "common/bytes.h"
+
+namespace waran::ric {
+
+std::vector<uint8_t> encode_indication(const IndicationReport& report) {
+  ByteWriter w;
+  w.u32le(kMsgIndication);
+  w.u32le(static_cast<uint32_t>(report.slices.size()));
+  for (const SliceReport& s : report.slices) {
+    w.u32le(s.slice_id);
+    w.u32le(s.quota_prbs);
+    w.f64le(s.target_bps);
+    w.f64le(s.rate_bps);
+  }
+  w.u32le(static_cast<uint32_t>(report.ues.size()));
+  for (const UeReport& u : report.ues) {
+    w.u32le(u.rnti);
+    w.u32le(u.serving_cell);
+    w.u32le(static_cast<uint32_t>(u.rsrp_serving_dbm));
+    w.u32le(static_cast<uint32_t>(u.rsrp_neighbor_dbm));
+    w.u32le(u.cqi);
+    w.u32le(u.neighbor_cell);
+  }
+  return w.take();
+}
+
+Result<IndicationReport> decode_indication(std::span<const uint8_t> bytes) {
+  ByteReader r(bytes);
+  WARAN_TRY(type, r.u32le());
+  if (type != kMsgIndication) return Error::decode("not an indication message");
+  IndicationReport report;
+  WARAN_TRY(n_slices, r.u32le());
+  if (static_cast<uint64_t>(n_slices) * 24 > r.remaining()) {
+    return Error::decode("indication: slice count exceeds payload");
+  }
+  report.slices.reserve(n_slices);
+  for (uint32_t i = 0; i < n_slices; ++i) {
+    SliceReport s;
+    WARAN_TRY(id, r.u32le());
+    WARAN_TRY(quota, r.u32le());
+    WARAN_TRY(target, r.f64le());
+    WARAN_TRY(rate, r.f64le());
+    s.slice_id = id;
+    s.quota_prbs = quota;
+    s.target_bps = target;
+    s.rate_bps = rate;
+    report.slices.push_back(s);
+  }
+  WARAN_TRY(n_ues, r.u32le());
+  if (static_cast<uint64_t>(n_ues) * 24 > r.remaining()) {
+    return Error::decode("indication: UE count exceeds payload");
+  }
+  report.ues.reserve(n_ues);
+  for (uint32_t i = 0; i < n_ues; ++i) {
+    UeReport u;
+    WARAN_TRY(rnti, r.u32le());
+    WARAN_TRY(cell, r.u32le());
+    WARAN_TRY(rsrp_s, r.u32le());
+    WARAN_TRY(rsrp_n, r.u32le());
+    WARAN_TRY(cqi, r.u32le());
+    WARAN_TRY(ncell, r.u32le());
+    u.rnti = rnti;
+    u.serving_cell = cell;
+    u.rsrp_serving_dbm = static_cast<int32_t>(rsrp_s);
+    u.rsrp_neighbor_dbm = static_cast<int32_t>(rsrp_n);
+    u.cqi = cqi;
+    u.neighbor_cell = ncell;
+    report.ues.push_back(u);
+  }
+  if (!r.at_end()) return Error::decode("indication: trailing bytes");
+  return report;
+}
+
+std::vector<uint8_t> encode_control(const std::vector<ControlAction>& actions) {
+  ByteWriter w;
+  w.u32le(kMsgControl);
+  w.u32le(static_cast<uint32_t>(actions.size()));
+  for (const ControlAction& a : actions) {
+    w.u32le(static_cast<uint32_t>(a.type));
+    w.u32le(a.a);
+    w.u32le(a.b);
+  }
+  return w.take();
+}
+
+Result<std::vector<ControlAction>> decode_control(std::span<const uint8_t> bytes) {
+  ByteReader r(bytes);
+  WARAN_TRY(type, r.u32le());
+  if (type != kMsgControl) return Error::decode("not a control message");
+  WARAN_TRY(n, r.u32le());
+  if (static_cast<uint64_t>(n) * 12 > r.remaining()) {
+    return Error::decode("control: action count exceeds payload");
+  }
+  std::vector<ControlAction> actions;
+  actions.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    ControlAction a;
+    WARAN_TRY(t, r.u32le());
+    WARAN_TRY(av, r.u32le());
+    WARAN_TRY(bv, r.u32le());
+    if (t < 1 || t > 4) return Error::decode("control: unknown action type");
+    a.type = static_cast<ActionType>(t);
+    a.a = av;
+    a.b = bv;
+    actions.push_back(a);
+  }
+  return actions;
+}
+
+Result<uint32_t> peek_msg_type(std::span<const uint8_t> bytes) {
+  ByteReader r(bytes);
+  return r.u32le();
+}
+
+}  // namespace waran::ric

@@ -1,0 +1,92 @@
+// E2-lite: the message model between the gNB (E2 node) and the near-RT RIC
+// in WA-RAN's Fig. 4 design. Deliberately *not* the 3GPP/O-RAN E2AP — the
+// paper's whole point is that the wire protocol is an implementation detail
+// wrapped by communication plugins, so WA-RAN defines a minimal report /
+// control schema and lets plugins own framing, encoding and transport.
+//
+// Flat payload layout (little endian), shared with the W plugin sources in
+// comm_plugins.cpp / xapps.cpp:
+//
+// Indication (msg_type 1):
+//   0  u32 msg_type
+//   4  u32 n_slices
+//   8  slice records, 24 B: { u32 slice_id, u32 quota_prbs,
+//                             f64 target_bps, f64 rate_bps }
+//   .. u32 n_ues
+//   .. UE records, 24 B: { u32 rnti, u32 serving_cell, i32 rsrp_serving_dbm,
+//                          i32 rsrp_neighbor_dbm, u32 cqi, u32 neighbor_cell }
+//
+// Control (msg_type 2):
+//   0  u32 msg_type
+//   4  u32 n_actions
+//   8  action records, 12 B: { u32 type, u32 a, u32 b }
+//      type 1 = set_slice_quota(slice_id=a, prbs=b)
+//      type 2 = set_cqi_table(index=a)
+//      type 3 = handover(rnti=a, target_cell=b)
+//      type 4 = set_report_period(slots=a)   [v2 extension: older control
+//               plugins skip it silently — the WA-RAN upgrade story]
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+
+namespace waran::ric {
+
+inline constexpr uint32_t kMsgIndication = 1;
+inline constexpr uint32_t kMsgControl = 2;
+
+struct SliceReport {
+  uint32_t slice_id = 0;
+  uint32_t quota_prbs = 0;
+  double target_bps = 0;
+  double rate_bps = 0;
+
+  bool operator==(const SliceReport&) const = default;
+};
+
+struct UeReport {
+  uint32_t rnti = 0;
+  uint32_t serving_cell = 0;
+  int32_t rsrp_serving_dbm = -90;
+  int32_t rsrp_neighbor_dbm = -140;
+  uint32_t cqi = 0;
+  uint32_t neighbor_cell = 0;
+
+  bool operator==(const UeReport&) const = default;
+};
+
+struct IndicationReport {
+  std::vector<SliceReport> slices;
+  std::vector<UeReport> ues;
+
+  bool operator==(const IndicationReport&) const = default;
+};
+
+enum class ActionType : uint32_t {
+  kSetSliceQuota = 1,
+  kSetCqiTable = 2,
+  kHandover = 3,
+  kSetReportPeriod = 4,
+};
+
+struct ControlAction {
+  ActionType type = ActionType::kSetSliceQuota;
+  uint32_t a = 0;
+  uint32_t b = 0;
+
+  bool operator==(const ControlAction&) const = default;
+};
+
+std::vector<uint8_t> encode_indication(const IndicationReport& report);
+Result<IndicationReport> decode_indication(std::span<const uint8_t> bytes);
+
+std::vector<uint8_t> encode_control(const std::vector<ControlAction>& actions);
+Result<std::vector<ControlAction>> decode_control(std::span<const uint8_t> bytes);
+
+/// Reads the msg_type header field (kMsgIndication / kMsgControl).
+Result<uint32_t> peek_msg_type(std::span<const uint8_t> bytes);
+
+}  // namespace waran::ric

@@ -1,0 +1,41 @@
+// W sources + compiled bytes for the RIC-side plugin corpus (paper §4B):
+//
+// Communication plugins — own the wire protocol between E2 node and RIC:
+//   comm_framing()   exports `frame` / `unframe`: length + checksum framing;
+//                    corrupt frames are rejected *inside the sandbox*, so
+//                    malformed traffic never reaches host parsing (§3B).
+//   control_dispatch() exports `apply_control`: decodes control payloads and
+//                    drives the gNB through `extern fn` host functions
+//                    (env.ran_set_quota / ran_set_cqi_table / ran_handover).
+//   vendor_widen()   exports `widen`: the introduction's interop example —
+//                    converts vendor A's packed 8-bit CQI report records to
+//                    vendor B's 12-bit schema.
+//
+// xApp plugins — control logic hosted by the near-RT RIC:
+//   sla_xapp()       slice SLA assurance: nudges slice quotas toward targets.
+//   steer_xapp()     traffic steering: A3-style handover on RSRP + hysteresis.
+//   counter_xapp()   minimal messaging demo (xapp_send / on_message).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace waran::ric::plugin_sources {
+
+Result<std::vector<uint8_t>> comm_framing();
+Result<std::vector<uint8_t>> control_dispatch();
+/// v2 of the control plugin: additionally understands the
+/// set_report_period action (type 4). Deploying a new control feature is a
+/// plugin hot-swap, not a protocol or firmware change.
+Result<std::vector<uint8_t>> control_dispatch_v2();
+Result<std::vector<uint8_t>> vendor_widen();
+Result<std::vector<uint8_t>> sla_xapp();
+Result<std::vector<uint8_t>> steer_xapp();
+Result<std::vector<uint8_t>> counter_xapp();
+
+/// The frame magic the comm plugin emits (tests assert on-wire format).
+inline constexpr uint32_t kFrameMagic = 0xE2A0B1C2;
+
+}  // namespace waran::ric::plugin_sources

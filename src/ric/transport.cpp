@@ -1,0 +1,32 @@
+#include "ric/transport.h"
+
+namespace waran::ric {
+
+void Duplex::send(Side from, std::vector<uint8_t> frame) {
+  ++frames_sent_;
+  bool drop = false;
+  if (tap_) tap_(frame, drop);
+  if (drop) {
+    ++frames_dropped_;
+    return;
+  }
+  if (from == Side::kA) {
+    to_b_.push_back(std::move(frame));
+  } else {
+    to_a_.push_back(std::move(frame));
+  }
+}
+
+std::optional<std::vector<uint8_t>> Duplex::receive(Side side) {
+  auto& q = side == Side::kA ? to_a_ : to_b_;
+  if (q.empty()) return std::nullopt;
+  std::vector<uint8_t> frame = std::move(q.front());
+  q.pop_front();
+  return frame;
+}
+
+size_t Duplex::pending(Side side) const {
+  return side == Side::kA ? to_a_.size() : to_b_.size();
+}
+
+}  // namespace waran::ric

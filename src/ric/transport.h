@@ -1,0 +1,45 @@
+// In-process duplex transport standing in for the paper's operator-chosen
+// message bus (ZeroMQ / Kafka / SCTP — §4B lets each deployment pick).
+// Two endpoints, each with an inbound queue; supports deterministic fault
+// injection (frame corruption, drops) to exercise the communication
+// plugins' sanitization path (§3B: "no malicious packets ... can be
+// injected into the host RIC").
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <vector>
+
+namespace waran::ric {
+
+class Duplex {
+ public:
+  enum class Side : uint8_t { kA, kB };
+
+  /// Sends a frame from `from` toward the opposite endpoint.
+  void send(Side from, std::vector<uint8_t> frame);
+
+  /// Pops the next inbound frame at `side`, if any.
+  std::optional<std::vector<uint8_t>> receive(Side side);
+
+  size_t pending(Side side) const;
+
+  /// Installs a tap applied to every frame in flight (mutate to corrupt,
+  /// clear to drop). Used by tests and the ric_roundtrip bench.
+  using Tap = std::function<void(std::vector<uint8_t>& frame, bool& drop)>;
+  void set_tap(Tap tap) { tap_ = std::move(tap); }
+
+  uint64_t frames_sent() const { return frames_sent_; }
+  uint64_t frames_dropped() const { return frames_dropped_; }
+
+ private:
+  std::deque<std::vector<uint8_t>> to_a_;
+  std::deque<std::vector<uint8_t>> to_b_;
+  Tap tap_;
+  uint64_t frames_sent_ = 0;
+  uint64_t frames_dropped_ = 0;
+};
+
+}  // namespace waran::ric

@@ -1,0 +1,36 @@
+// WA-RAN plugin corpus: the W sources of the MVNO intra-slice schedulers
+// (RR / PF / MT, mirroring the native baselines instruction-for-instruction
+// in their decision logic) plus the §5D fault-injection plugins.
+//
+// Each function returns compiled wasm bytes ready for PluginManager.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace waran::sched::plugins {
+
+/// Compiles the scheduler plugin of the given kind: "rr", "pf" or "mt".
+/// The module exports `schedule` (and shares the `run` alias used by
+/// generic plugin tooling).
+Result<std::vector<uint8_t>> scheduler(const std::string& kind);
+
+/// The W source text (for documentation, tooling demos and tests).
+std::string scheduler_source(const std::string& kind);
+
+/// Fault-injection plugins for the memory-safety evaluation (§5D):
+///   "oob"        — out-of-bounds linear-memory read
+///   "null"       — wild-pointer dereference (huge address, the wasm image
+///                  of a C null/garbage pointer access)
+///   "loop"       — infinite loop (caught by fuel metering)
+///   "doublefree" — double free detected by the plugin's own allocator,
+///                  trapping inside the sandbox
+///   "leak"       — allocates on every call and never frees (Fig. 5c)
+///   "badalloc"   — well-formed response referencing foreign RNTIs and
+///                  oversized grants (host sanitization path)
+///   "shortoutput"— truncated response payload (host decode-failure path)
+Result<std::vector<uint8_t>> faulty(const std::string& kind);
+
+}  // namespace waran::sched::plugins

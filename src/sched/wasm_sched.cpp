@@ -1,0 +1,12 @@
+#include "sched/wasm_sched.h"
+
+namespace waran::sched {
+
+Result<codec::SchedResponse> WasmIntraScheduler::schedule(
+    const codec::SchedRequest& req) {
+  std::vector<uint8_t> input = codec_->encode_request(req);
+  WARAN_TRY(output, manager_.call(slot_, entry_, input));
+  return codec_->decode_response(output);
+}
+
+}  // namespace waran::sched

@@ -1,0 +1,216 @@
+#include "wasm/disasm.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+namespace waran::wasm {
+namespace {
+
+void append_limits(std::ostringstream& out, const Limits& l) {
+  out << l.min;
+  if (l.max) out << " " << *l.max;
+}
+
+const char* kind_name(ImportKind k) {
+  switch (k) {
+    case ImportKind::kFunc: return "func";
+    case ImportKind::kTable: return "table";
+    case ImportKind::kMemory: return "memory";
+    case ImportKind::kGlobal: return "global";
+  }
+  return "?";
+}
+
+void append_value(std::ostringstream& out, const ConstExpr& e) {
+  switch (e.kind) {
+    case ConstExpr::Kind::kI32: out << "i32.const " << e.value.as_i32(); break;
+    case ConstExpr::Kind::kI64: out << "i64.const " << e.value.as_i64(); break;
+    case ConstExpr::Kind::kF32: {
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), "f32.const %.9g",
+                    static_cast<double>(e.value.as_f32()));
+      out << buf;
+      break;
+    }
+    case ConstExpr::Kind::kF64: {
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), "f64.const %.17g", e.value.as_f64());
+      out << buf;
+      break;
+    }
+    case ConstExpr::Kind::kGlobalGet: out << "global.get " << e.global_index; break;
+  }
+}
+
+void append_instr(std::ostringstream& out, const Code& code, const Instr& ins) {
+  out << to_string(ins.op);
+  switch (ins.op) {
+    case Op::kBlock:
+    case Op::kLoop:
+    case Op::kIf:
+      if (ins.block_arity != 0) {
+        uint32_t raw = code.body[ins.imm.ctrl.end_pc].imm.index;
+        if (is_val_type(static_cast<uint8_t>(raw))) {
+          out << " (result " << to_string(static_cast<ValType>(raw)) << ")";
+        }
+      }
+      break;
+    case Op::kBr:
+    case Op::kBrIf:
+    case Op::kCall:
+    case Op::kLocalGet:
+    case Op::kLocalSet:
+    case Op::kLocalTee:
+    case Op::kGlobalGet:
+    case Op::kGlobalSet:
+      out << " " << ins.imm.index;
+      break;
+    case Op::kBrTable: {
+      const BrTable& bt = code.br_tables[ins.imm.br_table_index];
+      for (uint32_t t : bt.targets) out << " " << t;
+      out << " " << bt.default_target;
+      break;
+    }
+    case Op::kCallIndirect:
+      out << " (type " << ins.imm.call_indirect.type_index << ")";
+      break;
+    case Op::kI32Const:
+      out << " " << ins.imm.i32;
+      break;
+    case Op::kI64Const:
+      out << " " << ins.imm.i64;
+      break;
+    case Op::kF32Const: {
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), " %.9g", static_cast<double>(ins.imm.f32));
+      out << buf;
+      break;
+    }
+    case Op::kF64Const: {
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), " %.17g", ins.imm.f64);
+      out << buf;
+      break;
+    }
+    default:
+      if (ins.op >= Op::kI32Load && ins.op <= Op::kI64Store32) {
+        if (ins.imm.mem.offset != 0) out << " offset=" << ins.imm.mem.offset;
+        out << " align=" << (1u << ins.imm.mem.align);
+      }
+      break;
+  }
+}
+
+void append_body(std::ostringstream& out, const Code& code, const char* base_indent) {
+  int depth = 1;
+  for (size_t pc = 0; pc < code.body.size(); ++pc) {
+    const Instr& ins = code.body[pc];
+    if (ins.op == Op::kEnd || ins.op == Op::kElse) --depth;
+    if (depth < 0) depth = 0;
+    out << base_indent;
+    for (int i = 0; i < depth; ++i) out << "  ";
+    append_instr(out, code, ins);
+    out << "\n";
+    if (ins.op == Op::kBlock || ins.op == Op::kLoop || ins.op == Op::kIf ||
+        ins.op == Op::kElse) {
+      ++depth;
+    }
+  }
+}
+
+void append_signature(std::ostringstream& out, const FuncType& type) {
+  if (!type.params.empty()) {
+    out << " (param";
+    for (ValType p : type.params) out << " " << to_string(p);
+    out << ")";
+  }
+  if (!type.results.empty()) {
+    out << " (result";
+    for (ValType r : type.results) out << " " << to_string(r);
+    out << ")";
+  }
+}
+
+}  // namespace
+
+std::string disassemble_function(const Module& module, uint32_t defined_index) {
+  std::ostringstream out;
+  uint32_t func_index = module.num_imported_funcs + defined_index;
+  const Code& code = module.codes[defined_index];
+  out << "  (func $" << func_index;
+  append_signature(out, module.func_type(func_index));
+  out << "\n";
+  if (!code.locals.empty()) {
+    out << "    (local";
+    for (ValType l : code.locals) out << " " << to_string(l);
+    out << ")\n";
+  }
+  append_body(out, code, "  ");
+  out << "  )\n";
+  return out.str();
+}
+
+std::string disassemble(const Module& module) {
+  std::ostringstream out;
+  out << "(module\n";
+  for (size_t i = 0; i < module.types.size(); ++i) {
+    out << "  (type " << i << " (func";
+    append_signature(out, module.types[i]);
+    out << "))\n";
+  }
+  for (const Import& imp : module.imports) {
+    out << "  (import \"" << imp.module << "\" \"" << imp.name << "\" ("
+        << kind_name(imp.kind);
+    if (imp.kind == ImportKind::kFunc) {
+      append_signature(out, module.types[imp.type_index]);
+    }
+    out << "))\n";
+  }
+  if (module.memory) {
+    out << "  (memory ";
+    append_limits(out, *module.memory);
+    out << ")\n";
+  }
+  if (module.table) {
+    out << "  (table ";
+    append_limits(out, module.table->limits);
+    out << " funcref)\n";
+  }
+  for (size_t i = 0; i < module.globals.size(); ++i) {
+    const Global& g = module.globals[i];
+    out << "  (global " << (module.num_imported_globals + i) << " "
+        << (g.type.mut ? "(mut " : "(") << to_string(g.type.type) << ") (";
+    append_value(out, g.init);
+    out << "))\n";
+  }
+  for (const Export& e : module.exports) {
+    out << "  (export \"" << e.name << "\" (" << kind_name(e.kind) << " " << e.index
+        << "))\n";
+  }
+  if (module.start) out << "  (start " << *module.start << ")\n";
+  for (const ElemSegment& seg : module.elems) {
+    out << "  (elem (";
+    append_value(out, seg.offset);
+    out << ")";
+    for (uint32_t fi : seg.func_indices) out << " " << fi;
+    out << ")\n";
+  }
+  for (const DataSegment& seg : module.datas) {
+    out << "  (data (";
+    append_value(out, seg.offset);
+    out << ") \"";
+    static const char* kHex = "0123456789abcdef";
+    for (uint8_t b : seg.bytes) {
+      out << "\\" << kHex[b >> 4] << kHex[b & 0xf];
+    }
+    out << "\")\n";
+  }
+  for (size_t i = 0; i < module.codes.size(); ++i) {
+    out << disassemble_function(module, static_cast<uint32_t>(i));
+  }
+  out << ")\n";
+  return out.str();
+}
+
+}  // namespace waran::wasm

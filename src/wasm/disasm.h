@@ -1,0 +1,20 @@
+// Disassembler: renders a decoded module as WAT-flavoured text. Used by the
+// `waranc` CLI (`waranc dump plugin.wasm`) and by tests/debugging — when a
+// plugin misbehaves, operators inspect exactly what bytecode the vendor
+// shipped (the paper's §3A "static analysis before deployment" workflow).
+#pragma once
+
+#include <string>
+
+#include "wasm/module.h"
+
+namespace waran::wasm {
+
+/// Whole-module listing: types, imports, memory/table/globals, exports and
+/// every function body with structured indentation.
+std::string disassemble(const Module& module);
+
+/// One function body (index into the defined-function space).
+std::string disassemble_function(const Module& module, uint32_t defined_index);
+
+}  // namespace waran::wasm

@@ -1,0 +1,56 @@
+// Host-function registry ("linker"). A host exposes selected functions to
+// the sandbox — in WA-RAN these are the gNB / RIC control surfaces (paper §4:
+// "the gNB host exposes multiple host functions, which provide access to
+// specific control processes"). Import resolution is by (module, name) with
+// exact signature matching.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "wasm/types.h"
+
+namespace waran::wasm {
+
+class Instance;
+
+/// Execution context handed to host functions: lets the host read/write the
+/// *calling instance's* linear memory (the only legal data channel across
+/// the sandbox boundary) and observe remaining fuel.
+struct HostContext {
+  Instance& instance;
+  /// User pointer registered at instantiation time; WA-RAN stores the
+  /// plugin-runtime object here.
+  void* user_data = nullptr;
+};
+
+/// A host function: signature + callable. Returning an Error with code
+/// kTrap aborts plugin execution exactly like a wasm-level trap.
+struct HostFunc {
+  FuncType type;
+  std::function<Result<std::optional<Value>>(HostContext&, std::span<const Value>)> fn;
+};
+
+/// Maps (module, name) -> host function. Shared across instances; cheap to
+/// copy by shared_ptr.
+class Linker {
+ public:
+  /// Registers a host function; replaces any existing binding (used by hot
+  /// reconfiguration in tests).
+  void register_func(std::string module, std::string name, HostFunc fn);
+
+  const HostFunc* lookup(const std::string& module, const std::string& name) const;
+
+  size_t size() const { return funcs_.size(); }
+
+ private:
+  std::map<std::pair<std::string, std::string>, HostFunc> funcs_;
+};
+
+}  // namespace waran::wasm

@@ -1,0 +1,788 @@
+#include "wasm/instance.h"
+
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+namespace waran::wasm {
+namespace {
+
+// --- IEEE-754 helpers matching wasm semantics exactly. ---
+
+template <typename F>
+F wasm_fmin(F a, F b) {
+  if (std::isnan(a) || std::isnan(b)) return std::numeric_limits<F>::quiet_NaN();
+  if (a == b) return std::signbit(a) ? a : b;  // min(-0,+0) = -0
+  return a < b ? a : b;
+}
+
+template <typename F>
+F wasm_fmax(F a, F b) {
+  if (std::isnan(a) || std::isnan(b)) return std::numeric_limits<F>::quiet_NaN();
+  if (a == b) return std::signbit(a) ? b : a;  // max(-0,+0) = +0
+  return a > b ? a : b;
+}
+
+/// Checked float -> integer truncation. Returns false on NaN / out of range.
+template <typename I, typename F>
+bool trunc_checked(F f, I* out) {
+  if (std::isnan(f)) return false;
+  double d = std::trunc(static_cast<double>(f));
+  if constexpr (std::is_same_v<I, int32_t>) {
+    if (d < -2147483648.0 || d > 2147483647.0) return false;
+  } else if constexpr (std::is_same_v<I, uint32_t>) {
+    if (d < 0.0 || d > 4294967295.0) return false;
+  } else if constexpr (std::is_same_v<I, int64_t>) {
+    // 2^63 is exactly representable in double; the valid range is [-2^63, 2^63).
+    if (d < -9223372036854775808.0 || d >= 9223372036854775808.0) return false;
+  } else {
+    static_assert(std::is_same_v<I, uint64_t>);
+    if (d < 0.0 || d >= 18446744073709551616.0) return false;
+  }
+  *out = static_cast<I>(d);
+  return true;
+}
+
+/// Saturating float -> integer truncation (trunc_sat_*): NaN -> 0, clamp.
+template <typename I, typename F>
+I trunc_sat(F f) {
+  if (std::isnan(f)) return 0;
+  double d = std::trunc(static_cast<double>(f));
+  if constexpr (std::is_same_v<I, int32_t>) {
+    if (d <= -2147483648.0) return std::numeric_limits<int32_t>::min();
+    if (d >= 2147483647.0) return std::numeric_limits<int32_t>::max();
+  } else if constexpr (std::is_same_v<I, uint32_t>) {
+    if (d <= 0.0) return 0;
+    if (d >= 4294967295.0) return std::numeric_limits<uint32_t>::max();
+  } else if constexpr (std::is_same_v<I, int64_t>) {
+    if (d <= -9223372036854775808.0) return std::numeric_limits<int64_t>::min();
+    if (d >= 9223372036854775808.0) return std::numeric_limits<int64_t>::max();
+  } else {
+    static_assert(std::is_same_v<I, uint64_t>);
+    if (d <= 0.0) return 0;
+    if (d >= 18446744073709551616.0) return std::numeric_limits<uint64_t>::max();
+  }
+  return static_cast<I>(d);
+}
+
+Error trap_here(Op op, const char* what) {
+  return Error::trap(std::string(what) + " in `" + to_string(op) + "`");
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Instance>> Instance::instantiate(
+    std::shared_ptr<const Module> module, const Linker& linker,
+    const InstanceOptions& options) {
+  auto inst = std::unique_ptr<Instance>(new Instance());
+  inst->module_ = std::move(module);
+  inst->user_data_ = options.user_data;
+  inst->max_call_depth_ = options.max_call_depth;
+  const Module& m = *inst->module_;
+
+  // Resolve imports. WA-RAN hosts only expose functions; table/memory/global
+  // imports are rejected at instantiation (decoded for completeness).
+  for (const Import& imp : m.imports) {
+    switch (imp.kind) {
+      case ImportKind::kFunc: {
+        const HostFunc* hf = linker.lookup(imp.module, imp.name);
+        if (hf == nullptr) {
+          return Error::not_found("unresolved import " + imp.module + "." + imp.name);
+        }
+        if (!(hf->type == m.types[imp.type_index])) {
+          return Error::validation("import signature mismatch for " + imp.module + "." +
+                                   imp.name + ": module wants " +
+                                   to_string(m.types[imp.type_index]) + ", host provides " +
+                                   to_string(hf->type));
+        }
+        inst->host_funcs_.push_back(*hf);
+        break;
+      }
+      default:
+        return Error::unsupported("only function imports are supported (import " +
+                                  imp.module + "." + imp.name + ")");
+    }
+  }
+
+  // Memory.
+  if (m.memory) {
+    auto mem = Memory::create(*m.memory);
+    if (!mem.ok()) return mem.error();
+    inst->memory_.emplace(std::move(*mem));
+  }
+
+  // Table.
+  if (m.table) {
+    inst->table_.assign(m.table->limits.min, kNullFuncRef);
+  }
+
+  // Globals (no global imports at this point, so init global.get cannot
+  // occur — the validator only allows it referencing imported globals).
+  for (const Global& g : m.globals) {
+    if (g.init.kind == ConstExpr::Kind::kGlobalGet) {
+      return Error::unsupported("global imports are not supported");
+    }
+    inst->globals_.push_back(g.init.value);
+  }
+
+  // Element segments.
+  for (const ElemSegment& seg : m.elems) {
+    uint64_t off = seg.offset.value.as_u32();
+    if (off + seg.func_indices.size() > inst->table_.size()) {
+      return Error::trap("element segment out of bounds");
+    }
+    for (size_t i = 0; i < seg.func_indices.size(); ++i) {
+      inst->table_[off + i] = seg.func_indices[i];
+    }
+  }
+
+  // Data segments.
+  for (const DataSegment& seg : m.datas) {
+    if (!inst->memory_) return Error::trap("data segment without memory");
+    uint64_t off = seg.offset.value.as_u32();
+    WARAN_CHECK_OK(inst->memory_->write_bytes(off, seg.bytes));
+  }
+
+  // Start function.
+  if (m.start) {
+    Value unused;
+    WARAN_CHECK_OK(inst->invoke(*m.start, {}, &unused, 0));
+  }
+
+  return inst;
+}
+
+std::optional<uint32_t> Instance::find_export(std::string_view name, ImportKind kind) const {
+  for (const Export& e : module_->exports) {
+    if (e.kind == kind && e.name == name) return e.index;
+  }
+  return std::nullopt;
+}
+
+Result<std::optional<TypedValue>> Instance::call(std::string_view export_name,
+                                                 std::span<const TypedValue> args) {
+  auto idx = find_export(export_name, ImportKind::kFunc);
+  if (!idx) return Error::not_found("no exported function named " + std::string(export_name));
+  const FuncType& ft = module_->func_type(*idx);
+  if (args.size() != ft.params.size()) {
+    return Error::invalid_argument("argument count mismatch: want " +
+                                   std::to_string(ft.params.size()) + ", got " +
+                                   std::to_string(args.size()));
+  }
+  std::vector<Value> raw;
+  raw.reserve(args.size());
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (args[i].type != ft.params[i]) {
+      return Error::invalid_argument("argument " + std::to_string(i) + " type mismatch");
+    }
+    raw.push_back(args[i].value);
+  }
+  auto r = call_index(*idx, raw);
+  if (!r.ok()) return r.error();
+  if (ft.results.empty()) return std::optional<TypedValue>{};
+  return std::optional<TypedValue>{TypedValue{ft.results[0], **r}};
+}
+
+Result<std::optional<Value>> Instance::call_index(uint32_t func_index,
+                                                  std::span<const Value> args) {
+  if (func_index >= module_->num_funcs()) {
+    return Error::invalid_argument("function index out of range");
+  }
+  const FuncType& ft = module_->func_type(func_index);
+  Value result{};
+  WARAN_CHECK_OK(invoke(func_index, args, &result, 0));
+  if (ft.results.empty()) return std::optional<Value>{};
+  return std::optional<Value>{result};
+}
+
+Status Instance::invoke_host(uint32_t import_index, std::span<const Value> args,
+                             Value* result) {
+  const HostFunc& hf = host_funcs_[import_index];
+  HostContext ctx{*this, user_data_};
+  auto r = hf.fn(ctx, args);
+  if (!r.ok()) return r.error();
+  if (r->has_value()) *result = **r;
+  return {};
+}
+
+Status Instance::invoke(uint32_t func_index, std::span<const Value> args, Value* result,
+                        uint32_t depth) {
+  if (depth >= max_call_depth_) return Error::trap("call stack exhausted");
+  if (func_index < module_->num_imported_funcs) {
+    return invoke_host(func_index, args, result);
+  }
+
+  const Code& code = module_->codes[func_index - module_->num_imported_funcs];
+  const FuncType& ft = module_->func_type(func_index);
+
+  std::vector<Value> locals(ft.params.size() + code.locals.size());
+  if (!args.empty()) {
+    std::memcpy(locals.data(), args.data(), args.size() * sizeof(Value));
+  }
+
+  std::vector<Value> stack;
+  stack.reserve(32);
+
+  struct LabelRt {
+    uint32_t cont;
+    uint32_t height;
+    uint8_t arity;
+  };
+  std::vector<LabelRt> labels;
+  labels.reserve(8);
+  const uint32_t body_size = static_cast<uint32_t>(code.body.size());
+  labels.push_back({body_size, 0, static_cast<uint8_t>(ft.results.size())});
+
+  const Instr* body = code.body.data();
+  uint32_t pc = 0;
+
+  auto pop = [&]() -> Value {
+    Value v = stack.back();
+    stack.pop_back();
+    return v;
+  };
+  auto push = [&](Value v) { stack.push_back(v); };
+
+  auto do_branch = [&](uint32_t d) {
+    const LabelRt l = labels[labels.size() - 1 - d];
+    const uint32_t keep = l.arity;
+    for (uint32_t i = 0; i < keep; ++i) {
+      stack[l.height + i] = stack[stack.size() - keep + i];
+    }
+    stack.resize(l.height + keep);
+    labels.resize(labels.size() - 1 - d);
+    pc = l.cont;
+  };
+
+  while (pc < body_size) {
+    const Instr& ins = body[pc];
+    ++pc;
+    if (fuel_enabled_) {
+      if (fuel_ == 0) {
+        return Error::fuel_exhausted("plugin exceeded its fuel budget");
+      }
+      --fuel_;
+    }
+    ++instructions_retired_;
+
+    switch (ins.op) {
+      case Op::kUnreachable:
+        return trap_here(ins.op, "unreachable executed");
+      case Op::kNop:
+        break;
+
+      case Op::kBlock:
+        labels.push_back({ins.imm.ctrl.end_pc + 1,
+                          static_cast<uint32_t>(stack.size()), ins.block_arity});
+        break;
+      case Op::kLoop:
+        labels.push_back({pc - 1, static_cast<uint32_t>(stack.size()), 0});
+        break;
+      case Op::kIf: {
+        int32_t cond = pop().as_i32();
+        labels.push_back({ins.imm.ctrl.end_pc + 1,
+                          static_cast<uint32_t>(stack.size()), ins.block_arity});
+        if (cond == 0) {
+          pc = (ins.imm.ctrl.else_pc != ins.imm.ctrl.end_pc) ? ins.imm.ctrl.else_pc + 1
+                                                             : ins.imm.ctrl.end_pc;
+        }
+        break;
+      }
+      case Op::kElse:
+        // Reached only by falling out of the true branch: skip to `end`.
+        pc = ins.imm.ctrl.end_pc;
+        break;
+      case Op::kEnd:
+        labels.pop_back();
+        break;
+
+      case Op::kBr:
+        do_branch(ins.imm.index);
+        break;
+      case Op::kBrIf:
+        if (pop().as_i32() != 0) do_branch(ins.imm.index);
+        break;
+      case Op::kBrTable: {
+        const BrTable& bt = code.br_tables[ins.imm.br_table_index];
+        uint32_t i = pop().as_u32();
+        do_branch(i < bt.targets.size() ? bt.targets[i] : bt.default_target);
+        break;
+      }
+      case Op::kReturn:
+        pc = body_size;
+        break;
+
+      case Op::kCall: {
+        const FuncType& callee = module_->func_type(ins.imm.index);
+        size_t n = callee.params.size();
+        Value res{};
+        Status st = invoke(ins.imm.index,
+                           std::span<const Value>(stack.data() + stack.size() - n, n),
+                           &res, depth + 1);
+        if (!st.ok()) return st;
+        stack.resize(stack.size() - n);
+        if (!callee.results.empty()) push(res);
+        break;
+      }
+      case Op::kCallIndirect: {
+        uint32_t elem = pop().as_u32();
+        if (elem >= table_.size()) return trap_here(ins.op, "table index out of bounds");
+        uint32_t target = table_[elem];
+        if (target == kNullFuncRef) return trap_here(ins.op, "uninitialized table element");
+        const FuncType& expect = module_->types[ins.imm.call_indirect.type_index];
+        const FuncType& actual = module_->func_type(target);
+        if (!(expect == actual)) return trap_here(ins.op, "indirect call signature mismatch");
+        size_t n = expect.params.size();
+        Value res{};
+        Status st = invoke(target,
+                           std::span<const Value>(stack.data() + stack.size() - n, n),
+                           &res, depth + 1);
+        if (!st.ok()) return st;
+        stack.resize(stack.size() - n);
+        if (!expect.results.empty()) push(res);
+        break;
+      }
+
+      case Op::kDrop:
+        stack.pop_back();
+        break;
+      case Op::kSelect: {
+        int32_t c = pop().as_i32();
+        Value b = pop();
+        Value a = pop();
+        push(c != 0 ? a : b);
+        break;
+      }
+
+      case Op::kLocalGet:
+        push(locals[ins.imm.index]);
+        break;
+      case Op::kLocalSet:
+        locals[ins.imm.index] = pop();
+        break;
+      case Op::kLocalTee:
+        locals[ins.imm.index] = stack.back();
+        break;
+      case Op::kGlobalGet:
+        push(globals_[ins.imm.index]);
+        break;
+      case Op::kGlobalSet:
+        globals_[ins.imm.index] = pop();
+        break;
+
+#define WARAN_LOAD(ctype, push_fn)                                          \
+  {                                                                         \
+    uint32_t base = pop().as_u32();                                         \
+    auto lv = memory_->load<ctype>(base, ins.imm.mem.offset);               \
+    if (!lv.ok()) return lv.error();                                        \
+    push(push_fn);                                                          \
+  }                                                                         \
+  break
+
+      case Op::kI32Load: WARAN_LOAD(int32_t, Value::from_i32(*lv));
+      case Op::kI64Load: WARAN_LOAD(int64_t, Value::from_i64(*lv));
+      case Op::kF32Load: WARAN_LOAD(float, Value::from_f32(*lv));
+      case Op::kF64Load: WARAN_LOAD(double, Value::from_f64(*lv));
+      case Op::kI32Load8S: WARAN_LOAD(int8_t, Value::from_i32(*lv));
+      case Op::kI32Load8U: WARAN_LOAD(uint8_t, Value::from_u32(*lv));
+      case Op::kI32Load16S: WARAN_LOAD(int16_t, Value::from_i32(*lv));
+      case Op::kI32Load16U: WARAN_LOAD(uint16_t, Value::from_u32(*lv));
+      case Op::kI64Load8S: WARAN_LOAD(int8_t, Value::from_i64(*lv));
+      case Op::kI64Load8U: WARAN_LOAD(uint8_t, Value::from_u64(*lv));
+      case Op::kI64Load16S: WARAN_LOAD(int16_t, Value::from_i64(*lv));
+      case Op::kI64Load16U: WARAN_LOAD(uint16_t, Value::from_u64(*lv));
+      case Op::kI64Load32S: WARAN_LOAD(int32_t, Value::from_i64(*lv));
+      case Op::kI64Load32U: WARAN_LOAD(uint32_t, Value::from_u64(*lv));
+#undef WARAN_LOAD
+
+#define WARAN_STORE(ctype, get_expr)                                        \
+  {                                                                         \
+    Value v = pop();                                                        \
+    uint32_t base = pop().as_u32();                                         \
+    Status st = memory_->store<ctype>(base, ins.imm.mem.offset, get_expr);  \
+    if (!st.ok()) return st;                                                \
+  }                                                                         \
+  break
+
+      case Op::kI32Store: WARAN_STORE(int32_t, v.as_i32());
+      case Op::kI64Store: WARAN_STORE(int64_t, v.as_i64());
+      case Op::kF32Store: WARAN_STORE(float, v.as_f32());
+      case Op::kF64Store: WARAN_STORE(double, v.as_f64());
+      case Op::kI32Store8: WARAN_STORE(uint8_t, static_cast<uint8_t>(v.as_u32()));
+      case Op::kI32Store16: WARAN_STORE(uint16_t, static_cast<uint16_t>(v.as_u32()));
+      case Op::kI64Store8: WARAN_STORE(uint8_t, static_cast<uint8_t>(v.as_u64()));
+      case Op::kI64Store16: WARAN_STORE(uint16_t, static_cast<uint16_t>(v.as_u64()));
+      case Op::kI64Store32: WARAN_STORE(uint32_t, static_cast<uint32_t>(v.as_u64()));
+#undef WARAN_STORE
+
+      case Op::kMemorySize:
+        push(Value::from_u32(memory_->pages()));
+        break;
+      case Op::kMemoryGrow: {
+        uint32_t delta = pop().as_u32();
+        push(Value::from_u32(memory_->grow(delta)));
+        break;
+      }
+      case Op::kMemoryCopy: {
+        uint32_t len = pop().as_u32();
+        uint32_t src = pop().as_u32();
+        uint32_t dst = pop().as_u32();
+        Status st = memory_->copy(dst, src, len);
+        if (!st.ok()) return st;
+        break;
+      }
+      case Op::kMemoryFill: {
+        uint32_t len = pop().as_u32();
+        uint32_t val = pop().as_u32();
+        uint32_t dst = pop().as_u32();
+        Status st = memory_->fill(dst, static_cast<uint8_t>(val), len);
+        if (!st.ok()) return st;
+        break;
+      }
+
+      case Op::kI32Const: push(Value::from_i32(ins.imm.i32)); break;
+      case Op::kI64Const: push(Value::from_i64(ins.imm.i64)); break;
+      case Op::kF32Const: push(Value::from_f32(ins.imm.f32)); break;
+      case Op::kF64Const: push(Value::from_f64(ins.imm.f64)); break;
+
+#define WARAN_CMP(pop_t, expr)                 \
+  {                                            \
+    auto rhs = pop().pop_t();                  \
+    auto lhs = pop().pop_t();                  \
+    (void)lhs; (void)rhs;                      \
+    push(Value::from_i32((expr) ? 1 : 0));     \
+  }                                            \
+  break
+
+      case Op::kI32Eqz: push(Value::from_i32(pop().as_i32() == 0 ? 1 : 0)); break;
+      case Op::kI32Eq: WARAN_CMP(as_i32, lhs == rhs);
+      case Op::kI32Ne: WARAN_CMP(as_i32, lhs != rhs);
+      case Op::kI32LtS: WARAN_CMP(as_i32, lhs < rhs);
+      case Op::kI32LtU: WARAN_CMP(as_u32, lhs < rhs);
+      case Op::kI32GtS: WARAN_CMP(as_i32, lhs > rhs);
+      case Op::kI32GtU: WARAN_CMP(as_u32, lhs > rhs);
+      case Op::kI32LeS: WARAN_CMP(as_i32, lhs <= rhs);
+      case Op::kI32LeU: WARAN_CMP(as_u32, lhs <= rhs);
+      case Op::kI32GeS: WARAN_CMP(as_i32, lhs >= rhs);
+      case Op::kI32GeU: WARAN_CMP(as_u32, lhs >= rhs);
+
+      case Op::kI64Eqz: push(Value::from_i32(pop().as_i64() == 0 ? 1 : 0)); break;
+      case Op::kI64Eq: WARAN_CMP(as_i64, lhs == rhs);
+      case Op::kI64Ne: WARAN_CMP(as_i64, lhs != rhs);
+      case Op::kI64LtS: WARAN_CMP(as_i64, lhs < rhs);
+      case Op::kI64LtU: WARAN_CMP(as_u64, lhs < rhs);
+      case Op::kI64GtS: WARAN_CMP(as_i64, lhs > rhs);
+      case Op::kI64GtU: WARAN_CMP(as_u64, lhs > rhs);
+      case Op::kI64LeS: WARAN_CMP(as_i64, lhs <= rhs);
+      case Op::kI64LeU: WARAN_CMP(as_u64, lhs <= rhs);
+      case Op::kI64GeS: WARAN_CMP(as_i64, lhs >= rhs);
+      case Op::kI64GeU: WARAN_CMP(as_u64, lhs >= rhs);
+
+      case Op::kF32Eq: WARAN_CMP(as_f32, lhs == rhs);
+      case Op::kF32Ne: WARAN_CMP(as_f32, lhs != rhs);
+      case Op::kF32Lt: WARAN_CMP(as_f32, lhs < rhs);
+      case Op::kF32Gt: WARAN_CMP(as_f32, lhs > rhs);
+      case Op::kF32Le: WARAN_CMP(as_f32, lhs <= rhs);
+      case Op::kF32Ge: WARAN_CMP(as_f32, lhs >= rhs);
+      case Op::kF64Eq: WARAN_CMP(as_f64, lhs == rhs);
+      case Op::kF64Ne: WARAN_CMP(as_f64, lhs != rhs);
+      case Op::kF64Lt: WARAN_CMP(as_f64, lhs < rhs);
+      case Op::kF64Gt: WARAN_CMP(as_f64, lhs > rhs);
+      case Op::kF64Le: WARAN_CMP(as_f64, lhs <= rhs);
+      case Op::kF64Ge: WARAN_CMP(as_f64, lhs >= rhs);
+#undef WARAN_CMP
+
+      case Op::kI32Clz: {
+        uint32_t v = pop().as_u32();
+        push(Value::from_u32(v == 0 ? 32 : static_cast<uint32_t>(std::countl_zero(v))));
+        break;
+      }
+      case Op::kI32Ctz: {
+        uint32_t v = pop().as_u32();
+        push(Value::from_u32(v == 0 ? 32 : static_cast<uint32_t>(std::countr_zero(v))));
+        break;
+      }
+      case Op::kI32Popcnt:
+        push(Value::from_u32(static_cast<uint32_t>(std::popcount(pop().as_u32()))));
+        break;
+
+#define WARAN_BIN(pop_t, from_fn, expr)  \
+  {                                      \
+    auto rhs = pop().pop_t();            \
+    auto lhs = pop().pop_t();            \
+    push(Value::from_fn(expr));          \
+  }                                      \
+  break
+
+      case Op::kI32Add: WARAN_BIN(as_u32, from_u32, lhs + rhs);
+      case Op::kI32Sub: WARAN_BIN(as_u32, from_u32, lhs - rhs);
+      case Op::kI32Mul: WARAN_BIN(as_u32, from_u32, lhs * rhs);
+      case Op::kI32DivS: {
+        int32_t rhs = pop().as_i32();
+        int32_t lhs = pop().as_i32();
+        if (rhs == 0) return trap_here(ins.op, "integer divide by zero");
+        if (lhs == std::numeric_limits<int32_t>::min() && rhs == -1) {
+          return trap_here(ins.op, "integer overflow");
+        }
+        push(Value::from_i32(lhs / rhs));
+        break;
+      }
+      case Op::kI32DivU: {
+        uint32_t rhs = pop().as_u32();
+        uint32_t lhs = pop().as_u32();
+        if (rhs == 0) return trap_here(ins.op, "integer divide by zero");
+        push(Value::from_u32(lhs / rhs));
+        break;
+      }
+      case Op::kI32RemS: {
+        int32_t rhs = pop().as_i32();
+        int32_t lhs = pop().as_i32();
+        if (rhs == 0) return trap_here(ins.op, "integer divide by zero");
+        if (lhs == std::numeric_limits<int32_t>::min() && rhs == -1) {
+          push(Value::from_i32(0));
+        } else {
+          push(Value::from_i32(lhs % rhs));
+        }
+        break;
+      }
+      case Op::kI32RemU: {
+        uint32_t rhs = pop().as_u32();
+        uint32_t lhs = pop().as_u32();
+        if (rhs == 0) return trap_here(ins.op, "integer divide by zero");
+        push(Value::from_u32(lhs % rhs));
+        break;
+      }
+      case Op::kI32And: WARAN_BIN(as_u32, from_u32, lhs & rhs);
+      case Op::kI32Or: WARAN_BIN(as_u32, from_u32, lhs | rhs);
+      case Op::kI32Xor: WARAN_BIN(as_u32, from_u32, lhs ^ rhs);
+      case Op::kI32Shl: WARAN_BIN(as_u32, from_u32, lhs << (rhs & 31));
+      case Op::kI32ShrS: {
+        uint32_t rhs = pop().as_u32();
+        int32_t lhs = pop().as_i32();
+        push(Value::from_i32(lhs >> (rhs & 31)));
+        break;
+      }
+      case Op::kI32ShrU: WARAN_BIN(as_u32, from_u32, lhs >> (rhs & 31));
+      case Op::kI32Rotl: WARAN_BIN(as_u32, from_u32, std::rotl(lhs, static_cast<int>(rhs & 31)));
+      case Op::kI32Rotr: WARAN_BIN(as_u32, from_u32, std::rotr(lhs, static_cast<int>(rhs & 31)));
+
+      case Op::kI64Clz: {
+        uint64_t v = pop().as_u64();
+        push(Value::from_u64(v == 0 ? 64 : static_cast<uint64_t>(std::countl_zero(v))));
+        break;
+      }
+      case Op::kI64Ctz: {
+        uint64_t v = pop().as_u64();
+        push(Value::from_u64(v == 0 ? 64 : static_cast<uint64_t>(std::countr_zero(v))));
+        break;
+      }
+      case Op::kI64Popcnt:
+        push(Value::from_u64(static_cast<uint64_t>(std::popcount(pop().as_u64()))));
+        break;
+      case Op::kI64Add: WARAN_BIN(as_u64, from_u64, lhs + rhs);
+      case Op::kI64Sub: WARAN_BIN(as_u64, from_u64, lhs - rhs);
+      case Op::kI64Mul: WARAN_BIN(as_u64, from_u64, lhs * rhs);
+      case Op::kI64DivS: {
+        int64_t rhs = pop().as_i64();
+        int64_t lhs = pop().as_i64();
+        if (rhs == 0) return trap_here(ins.op, "integer divide by zero");
+        if (lhs == std::numeric_limits<int64_t>::min() && rhs == -1) {
+          return trap_here(ins.op, "integer overflow");
+        }
+        push(Value::from_i64(lhs / rhs));
+        break;
+      }
+      case Op::kI64DivU: {
+        uint64_t rhs = pop().as_u64();
+        uint64_t lhs = pop().as_u64();
+        if (rhs == 0) return trap_here(ins.op, "integer divide by zero");
+        push(Value::from_u64(lhs / rhs));
+        break;
+      }
+      case Op::kI64RemS: {
+        int64_t rhs = pop().as_i64();
+        int64_t lhs = pop().as_i64();
+        if (rhs == 0) return trap_here(ins.op, "integer divide by zero");
+        if (lhs == std::numeric_limits<int64_t>::min() && rhs == -1) {
+          push(Value::from_i64(0));
+        } else {
+          push(Value::from_i64(lhs % rhs));
+        }
+        break;
+      }
+      case Op::kI64RemU: {
+        uint64_t rhs = pop().as_u64();
+        uint64_t lhs = pop().as_u64();
+        if (rhs == 0) return trap_here(ins.op, "integer divide by zero");
+        push(Value::from_u64(lhs % rhs));
+        break;
+      }
+      case Op::kI64And: WARAN_BIN(as_u64, from_u64, lhs & rhs);
+      case Op::kI64Or: WARAN_BIN(as_u64, from_u64, lhs | rhs);
+      case Op::kI64Xor: WARAN_BIN(as_u64, from_u64, lhs ^ rhs);
+      case Op::kI64Shl: WARAN_BIN(as_u64, from_u64, lhs << (rhs & 63));
+      case Op::kI64ShrS: {
+        uint64_t rhs = pop().as_u64();
+        int64_t lhs = pop().as_i64();
+        push(Value::from_i64(lhs >> (rhs & 63)));
+        break;
+      }
+      case Op::kI64ShrU: WARAN_BIN(as_u64, from_u64, lhs >> (rhs & 63));
+      case Op::kI64Rotl: WARAN_BIN(as_u64, from_u64, std::rotl(lhs, static_cast<int>(rhs & 63)));
+      case Op::kI64Rotr: WARAN_BIN(as_u64, from_u64, std::rotr(lhs, static_cast<int>(rhs & 63)));
+
+      case Op::kF32Abs: push(Value::from_f32(std::fabs(pop().as_f32()))); break;
+      case Op::kF32Neg: push(Value::from_f32(-pop().as_f32())); break;
+      case Op::kF32Ceil: push(Value::from_f32(std::ceil(pop().as_f32()))); break;
+      case Op::kF32Floor: push(Value::from_f32(std::floor(pop().as_f32()))); break;
+      case Op::kF32Trunc: push(Value::from_f32(std::trunc(pop().as_f32()))); break;
+      case Op::kF32Nearest: push(Value::from_f32(std::nearbyintf(pop().as_f32()))); break;
+      case Op::kF32Sqrt: push(Value::from_f32(std::sqrt(pop().as_f32()))); break;
+      case Op::kF32Add: WARAN_BIN(as_f32, from_f32, lhs + rhs);
+      case Op::kF32Sub: WARAN_BIN(as_f32, from_f32, lhs - rhs);
+      case Op::kF32Mul: WARAN_BIN(as_f32, from_f32, lhs * rhs);
+      case Op::kF32Div: WARAN_BIN(as_f32, from_f32, lhs / rhs);
+      case Op::kF32Min: WARAN_BIN(as_f32, from_f32, wasm_fmin(lhs, rhs));
+      case Op::kF32Max: WARAN_BIN(as_f32, from_f32, wasm_fmax(lhs, rhs));
+      case Op::kF32Copysign: WARAN_BIN(as_f32, from_f32, std::copysign(lhs, rhs));
+
+      case Op::kF64Abs: push(Value::from_f64(std::fabs(pop().as_f64()))); break;
+      case Op::kF64Neg: push(Value::from_f64(-pop().as_f64())); break;
+      case Op::kF64Ceil: push(Value::from_f64(std::ceil(pop().as_f64()))); break;
+      case Op::kF64Floor: push(Value::from_f64(std::floor(pop().as_f64()))); break;
+      case Op::kF64Trunc: push(Value::from_f64(std::trunc(pop().as_f64()))); break;
+      case Op::kF64Nearest: push(Value::from_f64(std::nearbyint(pop().as_f64()))); break;
+      case Op::kF64Sqrt: push(Value::from_f64(std::sqrt(pop().as_f64()))); break;
+      case Op::kF64Add: WARAN_BIN(as_f64, from_f64, lhs + rhs);
+      case Op::kF64Sub: WARAN_BIN(as_f64, from_f64, lhs - rhs);
+      case Op::kF64Mul: WARAN_BIN(as_f64, from_f64, lhs * rhs);
+      case Op::kF64Div: WARAN_BIN(as_f64, from_f64, lhs / rhs);
+      case Op::kF64Min: WARAN_BIN(as_f64, from_f64, wasm_fmin(lhs, rhs));
+      case Op::kF64Max: WARAN_BIN(as_f64, from_f64, wasm_fmax(lhs, rhs));
+      case Op::kF64Copysign: WARAN_BIN(as_f64, from_f64, std::copysign(lhs, rhs));
+#undef WARAN_BIN
+
+      case Op::kI32WrapI64:
+        push(Value::from_u32(static_cast<uint32_t>(pop().as_u64())));
+        break;
+
+      case Op::kI32TruncF32S: {
+        float f = pop().as_f32();
+        int32_t out;
+        if (!trunc_checked<int32_t>(f, &out)) return trap_here(ins.op, "invalid conversion to integer");
+        push(Value::from_i32(out));
+        break;
+      }
+      case Op::kI32TruncF32U: {
+        float f = pop().as_f32();
+        uint32_t out;
+        if (!trunc_checked<uint32_t>(f, &out)) return trap_here(ins.op, "invalid conversion to integer");
+        push(Value::from_u32(out));
+        break;
+      }
+      case Op::kI32TruncF64S: {
+        double f = pop().as_f64();
+        int32_t out;
+        if (!trunc_checked<int32_t>(f, &out)) return trap_here(ins.op, "invalid conversion to integer");
+        push(Value::from_i32(out));
+        break;
+      }
+      case Op::kI32TruncF64U: {
+        double f = pop().as_f64();
+        uint32_t out;
+        if (!trunc_checked<uint32_t>(f, &out)) return trap_here(ins.op, "invalid conversion to integer");
+        push(Value::from_u32(out));
+        break;
+      }
+      case Op::kI64TruncF32S: {
+        float f = pop().as_f32();
+        int64_t out;
+        if (!trunc_checked<int64_t>(f, &out)) return trap_here(ins.op, "invalid conversion to integer");
+        push(Value::from_i64(out));
+        break;
+      }
+      case Op::kI64TruncF32U: {
+        float f = pop().as_f32();
+        uint64_t out;
+        if (!trunc_checked<uint64_t>(f, &out)) return trap_here(ins.op, "invalid conversion to integer");
+        push(Value::from_u64(out));
+        break;
+      }
+      case Op::kI64TruncF64S: {
+        double f = pop().as_f64();
+        int64_t out;
+        if (!trunc_checked<int64_t>(f, &out)) return trap_here(ins.op, "invalid conversion to integer");
+        push(Value::from_i64(out));
+        break;
+      }
+      case Op::kI64TruncF64U: {
+        double f = pop().as_f64();
+        uint64_t out;
+        if (!trunc_checked<uint64_t>(f, &out)) return trap_here(ins.op, "invalid conversion to integer");
+        push(Value::from_u64(out));
+        break;
+      }
+
+      case Op::kI32TruncSatF32S: push(Value::from_i32(trunc_sat<int32_t>(pop().as_f32()))); break;
+      case Op::kI32TruncSatF32U: push(Value::from_u32(trunc_sat<uint32_t>(pop().as_f32()))); break;
+      case Op::kI32TruncSatF64S: push(Value::from_i32(trunc_sat<int32_t>(pop().as_f64()))); break;
+      case Op::kI32TruncSatF64U: push(Value::from_u32(trunc_sat<uint32_t>(pop().as_f64()))); break;
+      case Op::kI64TruncSatF32S: push(Value::from_i64(trunc_sat<int64_t>(pop().as_f32()))); break;
+      case Op::kI64TruncSatF32U: push(Value::from_u64(trunc_sat<uint64_t>(pop().as_f32()))); break;
+      case Op::kI64TruncSatF64S: push(Value::from_i64(trunc_sat<int64_t>(pop().as_f64()))); break;
+      case Op::kI64TruncSatF64U: push(Value::from_u64(trunc_sat<uint64_t>(pop().as_f64()))); break;
+
+      case Op::kI64ExtendI32S: push(Value::from_i64(pop().as_i32())); break;
+      case Op::kI64ExtendI32U: push(Value::from_u64(pop().as_u32())); break;
+      case Op::kF32ConvertI32S: push(Value::from_f32(static_cast<float>(pop().as_i32()))); break;
+      case Op::kF32ConvertI32U: push(Value::from_f32(static_cast<float>(pop().as_u32()))); break;
+      case Op::kF32ConvertI64S: push(Value::from_f32(static_cast<float>(pop().as_i64()))); break;
+      case Op::kF32ConvertI64U: push(Value::from_f32(static_cast<float>(pop().as_u64()))); break;
+      case Op::kF32DemoteF64: push(Value::from_f32(static_cast<float>(pop().as_f64()))); break;
+      case Op::kF64ConvertI32S: push(Value::from_f64(static_cast<double>(pop().as_i32()))); break;
+      case Op::kF64ConvertI32U: push(Value::from_f64(static_cast<double>(pop().as_u32()))); break;
+      case Op::kF64ConvertI64S: push(Value::from_f64(static_cast<double>(pop().as_i64()))); break;
+      case Op::kF64ConvertI64U: push(Value::from_f64(static_cast<double>(pop().as_u64()))); break;
+      case Op::kF64PromoteF32: push(Value::from_f64(static_cast<double>(pop().as_f32()))); break;
+
+      // Reinterpretations are no-ops on the untagged 64-bit cell, except f32
+      // bit-cleaning of the upper half (already zeroed by from_f32/from_u32).
+      case Op::kI32ReinterpretF32:
+      case Op::kF32ReinterpretI32:
+      case Op::kI64ReinterpretF64:
+      case Op::kF64ReinterpretI64:
+        break;
+
+      case Op::kI32Extend8S:
+        push(Value::from_i32(static_cast<int8_t>(pop().as_u32())));
+        break;
+      case Op::kI32Extend16S:
+        push(Value::from_i32(static_cast<int16_t>(pop().as_u32())));
+        break;
+      case Op::kI64Extend8S:
+        push(Value::from_i64(static_cast<int8_t>(pop().as_u64())));
+        break;
+      case Op::kI64Extend16S:
+        push(Value::from_i64(static_cast<int16_t>(pop().as_u64())));
+        break;
+      case Op::kI64Extend32S:
+        push(Value::from_i64(static_cast<int32_t>(pop().as_u64())));
+        break;
+    }
+  }
+
+  if (!ft.results.empty()) *result = stack.back();
+  return {};
+}
+
+void Linker::register_func(std::string module, std::string name, HostFunc fn) {
+  funcs_[{std::move(module), std::move(name)}] = std::move(fn);
+}
+
+const HostFunc* Linker::lookup(const std::string& module, const std::string& name) const {
+  auto it = funcs_.find({module, name});
+  return it == funcs_.end() ? nullptr : &it->second;
+}
+
+}  // namespace waran::wasm

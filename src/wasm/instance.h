@@ -1,0 +1,101 @@
+// Module instantiation and execution. An Instance owns the runtime state of
+// one loaded plugin: linear memory, globals, the indirect-call table, and
+// resolved host imports. Execution is a validated-bytecode interpreter with
+// optional fuel metering (the mechanism WA-RAN uses to bound plugin
+// execution time against the 5G slot deadline).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "wasm/host.h"
+#include "wasm/memory.h"
+#include "wasm/module.h"
+
+namespace waran::wasm {
+
+struct InstanceOptions {
+  /// Opaque pointer surfaced to host functions via HostContext::user_data.
+  void* user_data = nullptr;
+  /// Maximum interpreter call depth (wasm->wasm recursion).
+  uint32_t max_call_depth = 256;
+};
+
+class Instance {
+ public:
+  /// Resolves imports against `linker`, allocates memory/table, evaluates
+  /// global initializers, applies data/element segments (bounds-checked,
+  /// failing instantiation on overflow per spec), then runs the start
+  /// function. The module must already be validated.
+  static Result<std::unique_ptr<Instance>> instantiate(
+      std::shared_ptr<const Module> module, const Linker& linker,
+      const InstanceOptions& options = {});
+
+  // -- Calls ---------------------------------------------------------------
+
+  /// Calls an exported function by name with type-checked arguments.
+  Result<std::optional<TypedValue>> call(std::string_view export_name,
+                                         std::span<const TypedValue> args);
+
+  /// Calls by function index with untyped values (caller guarantees types).
+  Result<std::optional<Value>> call_index(uint32_t func_index,
+                                          std::span<const Value> args);
+
+  // -- Fuel ----------------------------------------------------------------
+
+  /// Arms fuel metering: each retired instruction consumes one unit; when it
+  /// hits zero the current call traps with kFuelExhausted.
+  void set_fuel(uint64_t fuel) {
+    fuel_ = fuel;
+    fuel_enabled_ = true;
+  }
+  void disable_fuel() { fuel_enabled_ = false; }
+  uint64_t fuel() const { return fuel_; }
+  bool fuel_enabled() const { return fuel_enabled_; }
+
+  /// Total instructions retired over the instance lifetime.
+  uint64_t instructions_retired() const { return instructions_retired_; }
+
+  // -- Introspection -------------------------------------------------------
+
+  Memory* memory() { return memory_ ? &*memory_ : nullptr; }
+  const Memory* memory() const { return memory_ ? &*memory_ : nullptr; }
+  const Module& module() const { return *module_; }
+  void* user_data() const { return user_data_; }
+
+  std::optional<uint32_t> find_export(std::string_view name, ImportKind kind) const;
+
+  Value global(uint32_t index) const { return globals_[index]; }
+
+ private:
+  Instance() = default;
+
+  friend class Interp;
+
+  Status invoke(uint32_t func_index, std::span<const Value> args, Value* result,
+                uint32_t depth);
+  Status invoke_host(uint32_t import_index, std::span<const Value> args, Value* result);
+
+  std::shared_ptr<const Module> module_;
+  std::optional<Memory> memory_;
+  std::vector<Value> globals_;                 // defined globals only (no global imports)
+  std::vector<uint32_t> table_;                // func indices; kNullFuncRef = null
+  // Resolved host imports, copied by value: the Linker used at
+  // instantiation time need not outlive the instance.
+  std::vector<HostFunc> host_funcs_;
+  void* user_data_ = nullptr;
+  uint32_t max_call_depth_ = 256;
+
+  bool fuel_enabled_ = false;
+  uint64_t fuel_ = 0;
+  uint64_t instructions_retired_ = 0;
+
+  static constexpr uint32_t kNullFuncRef = UINT32_MAX;
+};
+
+}  // namespace waran::wasm

@@ -1,0 +1,76 @@
+// Bounds-checked linear memory. Every access computes the effective address
+// in 64-bit arithmetic and traps on any byte outside the current size —
+// this is the mechanism behind the paper's §5D memory-safety results (OOB
+// access and null-page dereference inside a plugin become catchable traps
+// instead of host corruption).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "wasm/types.h"
+
+namespace waran::wasm {
+
+class Memory {
+ public:
+  /// Creates a memory with `limits.min` pages; growth is capped by
+  /// min(limits.max, kMaxMemoryPages).
+  static Result<Memory> create(const Limits& limits);
+
+  uint32_t pages() const { return static_cast<uint32_t>(bytes_.size() / kPageSize); }
+  size_t size_bytes() const { return bytes_.size(); }
+
+  /// memory.grow semantics: returns the previous page count, or -1 (as
+  /// uint32_t) when the request exceeds the limit. Never traps.
+  uint32_t grow(uint32_t delta_pages);
+
+  /// True iff [addr, addr+len) lies within the current memory.
+  bool in_bounds(uint64_t addr, uint64_t len) const {
+    return addr + len <= bytes_.size() && addr + len >= addr;
+  }
+
+  template <typename T>
+  Result<T> load(uint32_t base, uint32_t offset) const {
+    uint64_t ea = static_cast<uint64_t>(base) + offset;
+    if (!in_bounds(ea, sizeof(T))) return oob_error(ea, sizeof(T));
+    T v;
+    std::memcpy(&v, bytes_.data() + ea, sizeof(T));
+    return v;
+  }
+
+  template <typename T>
+  Status store(uint32_t base, uint32_t offset, T value) {
+    uint64_t ea = static_cast<uint64_t>(base) + offset;
+    if (!in_bounds(ea, sizeof(T))) return oob_error(ea, sizeof(T));
+    std::memcpy(bytes_.data() + ea, &value, sizeof(T));
+    return {};
+  }
+
+  /// Bulk host-side access (used by the plugin ABI to move serialized
+  /// payloads in and out of the sandbox).
+  Status read_bytes(uint64_t addr, std::span<uint8_t> out) const;
+  Status write_bytes(uint64_t addr, std::span<const uint8_t> in);
+
+  /// memory.copy / memory.fill (bulk-memory semantics: bounds-check first,
+  /// then copy; overlapping copies behave like memmove).
+  Status copy(uint64_t dst, uint64_t src, uint64_t len);
+  Status fill(uint64_t dst, uint8_t value, uint64_t len);
+
+  uint8_t* data() { return bytes_.data(); }
+  const uint8_t* data() const { return bytes_.data(); }
+
+ private:
+  Memory(std::vector<uint8_t> bytes, uint32_t max_pages)
+      : bytes_(std::move(bytes)), max_pages_(max_pages) {}
+
+  static Error oob_error(uint64_t addr, uint64_t len);
+
+  std::vector<uint8_t> bytes_;
+  uint32_t max_pages_;
+};
+
+}  // namespace waran::wasm

@@ -1,0 +1,60 @@
+#include "wasm/module.h"
+
+#include <cassert>
+
+namespace waran::wasm {
+
+const FuncType& Module::func_type(uint32_t i) const {
+  assert(i < num_funcs());
+  if (i < num_imported_funcs) return types[imported_func_types[i]];
+  return types[func_type_indices[i - num_imported_funcs]];
+}
+
+GlobalType Module::global_type(uint32_t i) const {
+  assert(i < num_globals());
+  if (i < num_imported_globals) return imported_global_types[i];
+  return globals[i - num_imported_globals].type;
+}
+
+const Limits* Module::memory_limits() const {
+  if (imported_memory) return &*imported_memory;
+  if (memory) return &*memory;
+  return nullptr;
+}
+
+const TableType* Module::table_type() const {
+  if (imported_table) return &*imported_table;
+  if (table) return &*table;
+  return nullptr;
+}
+
+const char* to_string(ValType t) {
+  switch (t) {
+    case ValType::kI32: return "i32";
+    case ValType::kI64: return "i64";
+    case ValType::kF32: return "f32";
+    case ValType::kF64: return "f64";
+  }
+  return "?";
+}
+
+bool is_val_type(uint8_t b) {
+  return b == 0x7f || b == 0x7e || b == 0x7d || b == 0x7c;
+}
+
+std::string to_string(const FuncType& t) {
+  std::string s = "(";
+  for (size_t i = 0; i < t.params.size(); ++i) {
+    if (i) s += ", ";
+    s += to_string(t.params[i]);
+  }
+  s += ") -> (";
+  for (size_t i = 0; i < t.results.size(); ++i) {
+    if (i) s += ", ";
+    s += to_string(t.results[i]);
+  }
+  s += ")";
+  return s;
+}
+
+}  // namespace waran::wasm

@@ -1,0 +1,119 @@
+// Core type definitions for the WA-RAN WebAssembly engine: value types,
+// function types, limits, and the untagged runtime value cell.
+//
+// Scope: WebAssembly core MVP (i32/i64/f32/f64; no SIMD, threads, or
+// reference types), plus the saturating-truncation and bulk-memory
+// mini-extensions — everything the WA-RAN plugins need and nothing more.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace waran::wasm {
+
+enum class ValType : uint8_t {
+  kI32 = 0x7f,
+  kI64 = 0x7e,
+  kF32 = 0x7d,
+  kF64 = 0x7c,
+};
+
+const char* to_string(ValType t);
+bool is_val_type(uint8_t b);
+
+/// Function signature. MVP multi-value is allowed by the decoder but the
+/// validator restricts blocks to <=1 result; functions may return 0 or 1.
+struct FuncType {
+  std::vector<ValType> params;
+  std::vector<ValType> results;
+
+  bool operator==(const FuncType&) const = default;
+};
+
+std::string to_string(const FuncType& t);
+
+/// Memory/table limits in units of pages / elements.
+struct Limits {
+  uint32_t min = 0;
+  std::optional<uint32_t> max;
+
+  bool operator==(const Limits&) const = default;
+};
+
+constexpr uint32_t kPageSize = 65536;
+/// Hard cap we impose on any instance memory (256 MiB) — an embedder limit,
+/// deliberately far below the 4 GiB architectural maximum: RAN edge nodes
+/// are memory constrained (paper §6B).
+constexpr uint32_t kMaxMemoryPages = 4096;
+
+/// Untagged 64-bit value cell. The validator guarantees type correctness, so
+/// runtime values carry no tag (this keeps the operand stack POD and fast).
+struct Value {
+  uint64_t bits = 0;
+
+  static Value from_i32(int32_t v) {
+    Value x;
+    x.bits = static_cast<uint32_t>(v);
+    return x;
+  }
+  static Value from_u32(uint32_t v) {
+    Value x;
+    x.bits = v;
+    return x;
+  }
+  static Value from_i64(int64_t v) {
+    Value x;
+    x.bits = static_cast<uint64_t>(v);
+    return x;
+  }
+  static Value from_u64(uint64_t v) {
+    Value x;
+    x.bits = v;
+    return x;
+  }
+  static Value from_f32(float v) {
+    Value x;
+    uint32_t b;
+    std::memcpy(&b, &v, 4);
+    x.bits = b;
+    return x;
+  }
+  static Value from_f64(double v) {
+    Value x;
+    std::memcpy(&x.bits, &v, 8);
+    return x;
+  }
+
+  int32_t as_i32() const { return static_cast<int32_t>(static_cast<uint32_t>(bits)); }
+  uint32_t as_u32() const { return static_cast<uint32_t>(bits); }
+  int64_t as_i64() const { return static_cast<int64_t>(bits); }
+  uint64_t as_u64() const { return bits; }
+  float as_f32() const {
+    float v;
+    uint32_t b = static_cast<uint32_t>(bits);
+    std::memcpy(&v, &b, 4);
+    return v;
+  }
+  double as_f64() const {
+    double v;
+    std::memcpy(&v, &bits, 8);
+    return v;
+  }
+};
+
+/// A typed value, used at API boundaries (host calls, tests) where the type
+/// is not statically known.
+struct TypedValue {
+  ValType type;
+  Value value;
+
+  static TypedValue i32(int32_t v) { return {ValType::kI32, Value::from_i32(v)}; }
+  static TypedValue i64(int64_t v) { return {ValType::kI64, Value::from_i64(v)}; }
+  static TypedValue f32(float v) { return {ValType::kF32, Value::from_f32(v)}; }
+  static TypedValue f64(double v) { return {ValType::kF64, Value::from_f64(v)}; }
+};
+
+}  // namespace waran::wasm

@@ -1,0 +1,17 @@
+// Module validation: implements the WebAssembly spec's type-checking
+// algorithm (operand stack + control frame stack, with the polymorphic
+// stack after `unreachable`). A module that passes decode + validate can be
+// executed by the interpreter with no further type checks — the runtime
+// Value cells are untagged on the strength of this pass.
+#pragma once
+
+#include "common/result.h"
+#include "wasm/module.h"
+
+namespace waran::wasm {
+
+/// Validates the whole module (types, imports, functions, globals, exports,
+/// segments, and every function body). Returns the first error found.
+Status validate_module(const Module& m);
+
+}  // namespace waran::wasm

@@ -1,0 +1,35 @@
+// WAT assembler: parses the textual module format the disassembler emits
+// (a flat-instruction WAT dialect) back into a binary module. Together with
+// disasm.h this closes the toolchain loop — `waranc dump` output can be
+// edited by hand and reassembled (`waranc asm`), the workflow a System
+// Integrator uses to patch a vendor plugin whose sources they do not have.
+//
+// Supported grammar (exactly the disassembler's output shape):
+//   (module
+//     (type N (func (param t*) (result t?)))
+//     (import "mod" "name" (func (param t*) (result t?)))
+//     (memory min max?)
+//     (table min max? funcref)
+//     (global N (mut? t) (t.const VALUE))
+//     (export "name" (func|memory|table|global N))
+//     (start N)
+//     (elem (i32.const OFF) FUNCIDX*)
+//     (data (i32.const OFF) "\hh...")
+//     (func $N (param t*) (result t?) (local t*)? INSTR* )
+//   )
+// Instructions are flat (no s-expression nesting): `i32.const 5`,
+// `block (result i32)`, `br_table 0 1 2`, `call_indirect (type N)`,
+// `i32.load offset=16 align=4`, ... Function/type references are numeric.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace waran::wasmbuilder {
+
+Result<std::vector<uint8_t>> assemble_wat(std::string_view text);
+
+}  // namespace waran::wasmbuilder

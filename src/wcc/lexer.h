@@ -1,0 +1,16 @@
+// Hand-written lexer for W. Line comments (`//`) only; whitespace
+// insignificant. Produces the full token stream up front (W sources are a
+// few hundred tokens, so there is no need to stream).
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "wcc/token.h"
+
+namespace waran::wcc {
+
+Result<std::vector<Token>> lex(std::string_view source);
+
+}  // namespace waran::wcc

@@ -1,0 +1,36 @@
+// wcc optimizer (the paper's §6C "code optimization" mitigation for the
+// interpretation gap): an AST-level pass run before codegen.
+//
+//   - constant folding of unary/binary operators and casts on literals,
+//     with exact wasm semantics (i32/i64 wraparound, saturating float->int);
+//     trapping cases (constant division by zero) are deliberately left
+//     unfolded so runtime behaviour is preserved;
+//   - algebraic identities on side-effect-free operands
+//     (x+0, x-0, x*1, x*0, x/1, 0/x is NOT folded — x might be 0);
+//   - dead-branch elimination: `if` with a constant condition keeps only
+//     the taken branch; `while (0)` disappears.
+//
+// The pass is semantics-preserving by construction; tests/wcc_opt_test.cpp
+// checks output equivalence and measures the retired-instruction savings.
+#pragma once
+
+#include "wcc/ast.h"
+
+namespace waran::wcc {
+
+struct OptStats {
+  uint32_t folded_consts = 0;
+  uint32_t algebraic_simplifications = 0;
+  uint32_t dead_branches_removed = 0;
+  uint32_t dead_loops_removed = 0;
+
+  uint32_t total() const {
+    return folded_consts + algebraic_simplifications + dead_branches_removed +
+           dead_loops_removed;
+  }
+};
+
+/// Optimizes `program` in place; returns what it did.
+OptStats optimize(Program& program);
+
+}  // namespace waran::wcc

@@ -1,0 +1,15 @@
+// Recursive-descent parser for W (grammar in doc/wcc.md and mirrored in
+// the header comments of token.h). Produces the AST; all semantic checking
+// happens in the compiler pass.
+#pragma once
+
+#include <string_view>
+
+#include "common/result.h"
+#include "wcc/ast.h"
+
+namespace waran::wcc {
+
+Result<Program> parse(std::string_view source);
+
+}  // namespace waran::wcc

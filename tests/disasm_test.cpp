@@ -1,0 +1,108 @@
+// Disassembler tests: structural completeness (every section represented),
+// stable opcode naming, and usability on the real plugin corpus.
+#include <gtest/gtest.h>
+
+#include "sched/plugins.h"
+#include "tests/wasm_test_util.h"
+#include "wasm/disasm.h"
+#include "wcc/compiler.h"
+
+namespace waran {
+namespace {
+
+using namespace wasmtest;
+
+TEST(Disasm, EmptyModule) {
+  ModuleBuilder mb;
+  auto bytes = mb.build();
+  auto module = wasm::decode_module(bytes);
+  ASSERT_TRUE(module.ok());
+  EXPECT_EQ(wasm::disassemble(*module), "(module\n)\n");
+}
+
+TEST(Disasm, CoversAllSections) {
+  ModuleBuilder mb;
+  mb.import_func("env", "host", FuncType{{ValType::kI32}, {}});
+  mb.add_memory(2, 8, "memory");
+  mb.add_global(ValType::kI64, true, wasm::Value::from_i64(-5));
+  FuncType sig{{}, {ValType::kI32}};
+  auto& f = mb.add_func(sig, "answer");
+  f.i32_const(42).end();
+  mb.add_table(1, 1);
+  mb.add_elem(0, {f.index()});
+  const uint8_t data[] = {1, 2};
+  mb.add_data(64, data);
+
+  auto bytes = mb.build();
+  auto module = wasm::decode_module(bytes);
+  ASSERT_TRUE(module.ok());
+  std::string text = wasm::disassemble(*module);
+
+  EXPECT_NE(text.find("(import \"env\" \"host\" (func (param i32)))"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("(memory 2 8)"), std::string::npos);
+  EXPECT_NE(text.find("(table 1 1 funcref)"), std::string::npos);
+  EXPECT_NE(text.find("(mut i64) (i64.const -5)"), std::string::npos);
+  EXPECT_NE(text.find("(export \"answer\" (func 1))"), std::string::npos);
+  EXPECT_NE(text.find("i32.const 42"), std::string::npos);
+}
+
+TEST(Disasm, ControlFlowIndentation) {
+  ModuleBuilder mb;
+  auto& f = mb.add_func(FuncType{{ValType::kI32}, {ValType::kI32}}, "f");
+  f.local_get(0).if_(BlockT::i32());
+  f.i32_const(1);
+  f.else_();
+  f.block().i32_const(5).br_if(0).end();
+  f.i32_const(2);
+  f.end().end();
+  auto bytes = mb.build();
+  auto module = wasm::decode_module(bytes);
+  ASSERT_TRUE(module.ok());
+  std::string text = wasm::disassemble(*module);
+  // if carries its result annotation; nesting indents the inner block body.
+  EXPECT_NE(text.find("if (result i32)"), std::string::npos) << text;
+  EXPECT_NE(text.find("\n      block"), std::string::npos) << text;
+  EXPECT_NE(text.find("br_if 0"), std::string::npos);
+}
+
+TEST(Disasm, MemargRendering) {
+  ModuleBuilder mb;
+  mb.add_memory(1, 1);
+  auto& f = mb.add_func(FuncType{{}, {ValType::kI32}}, "f");
+  f.i32_const(0).load(Op::kI32Load, 16, 2).end();
+  auto bytes = mb.build();
+  auto module = wasm::decode_module(bytes);
+  ASSERT_TRUE(module.ok());
+  std::string text = wasm::disassemble(*module);
+  EXPECT_NE(text.find("i32.load offset=16 align=4"), std::string::npos) << text;
+}
+
+TEST(Disasm, WholePluginCorpusDisassembles) {
+  for (const char* kind : {"rr", "pf", "mt"}) {
+    auto bytes = sched::plugins::scheduler(kind);
+    ASSERT_TRUE(bytes.ok());
+    auto module = wasm::decode_module(*bytes);
+    ASSERT_TRUE(module.ok());
+    std::string text = wasm::disassemble(*module);
+    EXPECT_NE(text.find("(export \"schedule\""), std::string::npos) << kind;
+    EXPECT_GT(text.size(), 500u) << kind;
+    // Balanced parens is a cheap well-formedness proxy.
+    EXPECT_EQ(std::count(text.begin(), text.end(), '('),
+              std::count(text.begin(), text.end(), ')'))
+        << kind;
+  }
+}
+
+TEST(Disasm, BrTableTargetsListed) {
+  ModuleBuilder mb;
+  auto& f = mb.add_func(FuncType{{ValType::kI32}, {}}, "f");
+  f.block().block().local_get(0).br_table({0, 1}, 1).end().end().end();
+  auto bytes = mb.build();
+  auto module = wasm::decode_module(bytes);
+  ASSERT_TRUE(module.ok());
+  EXPECT_NE(wasm::disassemble(*module).find("br_table 0 1 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace waran

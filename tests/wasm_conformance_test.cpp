@@ -1,0 +1,450 @@
+// Numeric conformance sweep: every i32/i64 binary/unary operator and every
+// conversion is executed in the engine across edge-case operand grids and
+// compared against reference semantics computed in C++ (which match the
+// wasm spec for these cases by construction: wraparound via unsigned
+// arithmetic, masked shifts, IEEE-754 for floats).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "tests/wasm_test_util.h"
+
+namespace waran {
+namespace {
+
+using namespace wasmtest;
+
+// One module with an exported wrapper per operator under test.
+class NumericConformance : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ModuleBuilder mb;
+    auto bin = [&](const char* name, ValType t, Op op) {
+      auto& f = mb.add_func(FuncType{{t, t}, {t}}, name);
+      f.local_get(0).local_get(1).op(op).end();
+    };
+    auto cmp = [&](const char* name, ValType t, Op op) {
+      auto& f = mb.add_func(FuncType{{t, t}, {ValType::kI32}}, name);
+      f.local_get(0).local_get(1).op(op).end();
+    };
+    auto un = [&](const char* name, ValType in, ValType out, Op op) {
+      auto& f = mb.add_func(FuncType{{in}, {out}}, name);
+      f.local_get(0).op(op).end();
+    };
+
+    bin("i32add", ValType::kI32, Op::kI32Add);
+    bin("i32sub", ValType::kI32, Op::kI32Sub);
+    bin("i32mul", ValType::kI32, Op::kI32Mul);
+    bin("i32and", ValType::kI32, Op::kI32And);
+    bin("i32or", ValType::kI32, Op::kI32Or);
+    bin("i32xor", ValType::kI32, Op::kI32Xor);
+    bin("i32shl", ValType::kI32, Op::kI32Shl);
+    bin("i32shrs", ValType::kI32, Op::kI32ShrS);
+    bin("i32shru", ValType::kI32, Op::kI32ShrU);
+    bin("i32rotl", ValType::kI32, Op::kI32Rotl);
+    bin("i32rotr", ValType::kI32, Op::kI32Rotr);
+    cmp("i32lts", ValType::kI32, Op::kI32LtS);
+    cmp("i32ltu", ValType::kI32, Op::kI32LtU);
+    cmp("i32ges", ValType::kI32, Op::kI32GeS);
+    cmp("i32geu", ValType::kI32, Op::kI32GeU);
+
+    bin("i64add", ValType::kI64, Op::kI64Add);
+    bin("i64sub", ValType::kI64, Op::kI64Sub);
+    bin("i64mul", ValType::kI64, Op::kI64Mul);
+    bin("i64shl", ValType::kI64, Op::kI64Shl);
+    bin("i64shrs", ValType::kI64, Op::kI64ShrS);
+    bin("i64shru", ValType::kI64, Op::kI64ShrU);
+    bin("i64rotl", ValType::kI64, Op::kI64Rotl);
+    cmp("i64lts", ValType::kI64, Op::kI64LtS);
+    cmp("i64ltu", ValType::kI64, Op::kI64LtU);
+
+    bin("f64add", ValType::kF64, Op::kF64Add);
+    bin("f64sub", ValType::kF64, Op::kF64Sub);
+    bin("f64mul", ValType::kF64, Op::kF64Mul);
+    bin("f64div", ValType::kF64, Op::kF64Div);
+    bin("f64min", ValType::kF64, Op::kF64Min);
+    bin("f64max", ValType::kF64, Op::kF64Max);
+    bin("f64copysign", ValType::kF64, Op::kF64Copysign);
+    cmp("f64eq", ValType::kF64, Op::kF64Eq);
+    cmp("f64lt", ValType::kF64, Op::kF64Lt);
+
+    un("i32clz", ValType::kI32, ValType::kI32, Op::kI32Clz);
+    un("i32ctz", ValType::kI32, ValType::kI32, Op::kI32Ctz);
+    un("i32popcnt", ValType::kI32, ValType::kI32, Op::kI32Popcnt);
+    un("i64clz", ValType::kI64, ValType::kI64, Op::kI64Clz);
+    un("i64ctz", ValType::kI64, ValType::kI64, Op::kI64Ctz);
+    un("i64popcnt", ValType::kI64, ValType::kI64, Op::kI64Popcnt);
+    un("wrap", ValType::kI64, ValType::kI32, Op::kI32WrapI64);
+    un("extends", ValType::kI32, ValType::kI64, Op::kI64ExtendI32S);
+    un("extendu", ValType::kI32, ValType::kI64, Op::kI64ExtendI32U);
+    un("ext8", ValType::kI32, ValType::kI32, Op::kI32Extend8S);
+    un("ext16", ValType::kI32, ValType::kI32, Op::kI32Extend16S);
+    un("f64sqrt", ValType::kF64, ValType::kF64, Op::kF64Sqrt);
+    un("f64ceil", ValType::kF64, ValType::kF64, Op::kF64Ceil);
+    un("f64floor", ValType::kF64, ValType::kF64, Op::kF64Floor);
+    un("f64trunc", ValType::kF64, ValType::kF64, Op::kF64Trunc);
+    un("f64nearest", ValType::kF64, ValType::kF64, Op::kF64Nearest);
+    un("convs", ValType::kI64, ValType::kF64, Op::kF64ConvertI64S);
+    un("convu", ValType::kI64, ValType::kF64, Op::kF64ConvertI64U);
+    un("demote", ValType::kF64, ValType::kF32, Op::kF32DemoteF64);
+    un("promote", ValType::kF32, ValType::kF64, Op::kF64PromoteF32);
+
+    instance_ = instantiate(mb).release();
+    ASSERT_NE(instance_, nullptr);
+  }
+
+  static void TearDownTestSuite() {
+    delete instance_;
+    instance_ = nullptr;
+  }
+
+  static wasm::Instance* instance_;
+
+  static const std::vector<int32_t>& i32_grid() {
+    static const std::vector<int32_t> kGrid = {
+        0, 1, -1, 2, -2, 31, 32, 33, 255, -256, 0x7fffffff,
+        static_cast<int32_t>(0x80000000), static_cast<int32_t>(0xaaaaaaaa), 12345, -98765};
+    return kGrid;
+  }
+  static const std::vector<int64_t>& i64_grid() {
+    static const std::vector<int64_t> kGrid = {
+        0, 1, -1, 63, 64, 65, (1LL << 32), -(1LL << 32),
+        std::numeric_limits<int64_t>::max(), std::numeric_limits<int64_t>::min(),
+        0x123456789abcdef0LL};
+    return kGrid;
+  }
+  static const std::vector<double>& f64_grid() {
+    static const std::vector<double> kGrid = {
+        0.0, -0.0, 1.0, -1.5, 1e300, -1e300, 1e-300,
+        std::numeric_limits<double>::infinity(),
+        -std::numeric_limits<double>::infinity(),
+        std::numeric_limits<double>::quiet_NaN(), 3.141592653589793};
+    return kGrid;
+  }
+};
+
+wasm::Instance* NumericConformance::instance_ = nullptr;
+
+TEST_F(NumericConformance, I32BinaryOps) {
+  for (int32_t a : i32_grid()) {
+    for (int32_t b : i32_grid()) {
+      auto args = std::vector<TypedValue>{TypedValue::i32(a), TypedValue::i32(b)};
+      uint32_t ua = static_cast<uint32_t>(a), ub = static_cast<uint32_t>(b);
+      EXPECT_EQ(call_i32(*instance_, "i32add", args), static_cast<int32_t>(ua + ub));
+      EXPECT_EQ(call_i32(*instance_, "i32sub", args), static_cast<int32_t>(ua - ub));
+      EXPECT_EQ(call_i32(*instance_, "i32mul", args), static_cast<int32_t>(ua * ub));
+      EXPECT_EQ(call_i32(*instance_, "i32and", args), a & b);
+      EXPECT_EQ(call_i32(*instance_, "i32or", args), a | b);
+      EXPECT_EQ(call_i32(*instance_, "i32xor", args), a ^ b);
+      EXPECT_EQ(call_i32(*instance_, "i32shl", args),
+                static_cast<int32_t>(ua << (ub & 31)));
+      EXPECT_EQ(call_i32(*instance_, "i32shrs", args), a >> (ub & 31));
+      EXPECT_EQ(call_i32(*instance_, "i32shru", args),
+                static_cast<int32_t>(ua >> (ub & 31)));
+      EXPECT_EQ(call_i32(*instance_, "i32rotl", args),
+                static_cast<int32_t>(std::rotl(ua, static_cast<int>(ub & 31))));
+      EXPECT_EQ(call_i32(*instance_, "i32rotr", args),
+                static_cast<int32_t>(std::rotr(ua, static_cast<int>(ub & 31))));
+      EXPECT_EQ(call_i32(*instance_, "i32lts", args), a < b ? 1 : 0);
+      EXPECT_EQ(call_i32(*instance_, "i32ltu", args), ua < ub ? 1 : 0);
+      EXPECT_EQ(call_i32(*instance_, "i32ges", args), a >= b ? 1 : 0);
+      EXPECT_EQ(call_i32(*instance_, "i32geu", args), ua >= ub ? 1 : 0);
+    }
+  }
+}
+
+TEST_F(NumericConformance, I64BinaryOps) {
+  for (int64_t a : i64_grid()) {
+    for (int64_t b : i64_grid()) {
+      auto args = std::vector<TypedValue>{TypedValue::i64(a), TypedValue::i64(b)};
+      uint64_t ua = static_cast<uint64_t>(a), ub = static_cast<uint64_t>(b);
+      EXPECT_EQ(call_i64(*instance_, "i64add", args), static_cast<int64_t>(ua + ub));
+      EXPECT_EQ(call_i64(*instance_, "i64sub", args), static_cast<int64_t>(ua - ub));
+      EXPECT_EQ(call_i64(*instance_, "i64mul", args), static_cast<int64_t>(ua * ub));
+      EXPECT_EQ(call_i64(*instance_, "i64shl", args),
+                static_cast<int64_t>(ua << (ub & 63)));
+      EXPECT_EQ(call_i64(*instance_, "i64shrs", args), a >> (ub & 63));
+      EXPECT_EQ(call_i64(*instance_, "i64shru", args),
+                static_cast<int64_t>(ua >> (ub & 63)));
+      EXPECT_EQ(call_i64(*instance_, "i64rotl", args),
+                static_cast<int64_t>(std::rotl(ua, static_cast<int>(ub & 63))));
+      EXPECT_EQ(call_i32(*instance_, "i64lts", args), a < b ? 1 : 0);
+      EXPECT_EQ(call_i32(*instance_, "i64ltu", args), ua < ub ? 1 : 0);
+    }
+  }
+}
+
+TEST_F(NumericConformance, F64BinaryOps) {
+  for (double a : f64_grid()) {
+    for (double b : f64_grid()) {
+      auto args = std::vector<TypedValue>{TypedValue::f64(a), TypedValue::f64(b)};
+      auto expect_f64 = [&](const char* fn, double want) {
+        double got = call_f64(*instance_, fn, args);
+        if (std::isnan(want)) {
+          EXPECT_TRUE(std::isnan(got)) << fn << "(" << a << "," << b << ")";
+        } else {
+          EXPECT_EQ(got, want) << fn << "(" << a << "," << b << ")";
+          EXPECT_EQ(std::signbit(got), std::signbit(want)) << fn;
+        }
+      };
+      expect_f64("f64add", a + b);
+      expect_f64("f64sub", a - b);
+      expect_f64("f64mul", a * b);
+      expect_f64("f64div", a / b);
+      expect_f64("f64copysign", std::copysign(a, b));
+      // Wasm min/max semantics (NaN-propagating, -0 < +0).
+      double want_min, want_max;
+      if (std::isnan(a) || std::isnan(b)) {
+        want_min = want_max = std::numeric_limits<double>::quiet_NaN();
+      } else if (a == b) {
+        want_min = std::signbit(a) ? a : b;
+        want_max = std::signbit(a) ? b : a;
+      } else {
+        want_min = a < b ? a : b;
+        want_max = a > b ? a : b;
+      }
+      expect_f64("f64min", want_min);
+      expect_f64("f64max", want_max);
+      EXPECT_EQ(call_i32(*instance_, "f64eq", args), a == b ? 1 : 0);
+      EXPECT_EQ(call_i32(*instance_, "f64lt", args), a < b ? 1 : 0);
+    }
+  }
+}
+
+TEST_F(NumericConformance, BitCountOps) {
+  for (int32_t a : i32_grid()) {
+    uint32_t ua = static_cast<uint32_t>(a);
+    auto args = std::vector<TypedValue>{TypedValue::i32(a)};
+    EXPECT_EQ(call_i32(*instance_, "i32clz", args),
+              ua == 0 ? 32 : std::countl_zero(ua));
+    EXPECT_EQ(call_i32(*instance_, "i32ctz", args),
+              ua == 0 ? 32 : std::countr_zero(ua));
+    EXPECT_EQ(call_i32(*instance_, "i32popcnt", args), std::popcount(ua));
+  }
+  for (int64_t a : i64_grid()) {
+    uint64_t ua = static_cast<uint64_t>(a);
+    auto args = std::vector<TypedValue>{TypedValue::i64(a)};
+    EXPECT_EQ(call_i64(*instance_, "i64clz", args),
+              ua == 0 ? 64 : std::countl_zero(ua));
+    EXPECT_EQ(call_i64(*instance_, "i64ctz", args),
+              ua == 0 ? 64 : std::countr_zero(ua));
+    EXPECT_EQ(call_i64(*instance_, "i64popcnt", args), std::popcount(ua));
+  }
+}
+
+TEST_F(NumericConformance, WidthConversions) {
+  for (int64_t a : i64_grid()) {
+    auto args64 = std::vector<TypedValue>{TypedValue::i64(a)};
+    EXPECT_EQ(call_i32(*instance_, "wrap", args64),
+              static_cast<int32_t>(static_cast<uint64_t>(a)));
+    EXPECT_EQ(call_f64(*instance_, "convs", args64), static_cast<double>(a));
+    EXPECT_EQ(call_f64(*instance_, "convu", args64),
+              static_cast<double>(static_cast<uint64_t>(a)));
+  }
+  for (int32_t a : i32_grid()) {
+    auto args32 = std::vector<TypedValue>{TypedValue::i32(a)};
+    EXPECT_EQ(call_i64(*instance_, "extends", args32), static_cast<int64_t>(a));
+    EXPECT_EQ(call_i64(*instance_, "extendu", args32),
+              static_cast<int64_t>(static_cast<uint32_t>(a)));
+    EXPECT_EQ(call_i32(*instance_, "ext8", args32),
+              static_cast<int8_t>(static_cast<uint32_t>(a)));
+    EXPECT_EQ(call_i32(*instance_, "ext16", args32),
+              static_cast<int16_t>(static_cast<uint32_t>(a)));
+  }
+}
+
+TEST_F(NumericConformance, F64UnaryOps) {
+  for (double a : f64_grid()) {
+    auto args = std::vector<TypedValue>{TypedValue::f64(a)};
+    auto expect_f64 = [&](const char* fn, double want) {
+      double got = call_f64(*instance_, fn, args);
+      if (std::isnan(want)) {
+        EXPECT_TRUE(std::isnan(got)) << fn << "(" << a << ")";
+      } else {
+        EXPECT_EQ(got, want) << fn << "(" << a << ")";
+      }
+    };
+    expect_f64("f64sqrt", std::sqrt(a));
+    expect_f64("f64ceil", std::ceil(a));
+    expect_f64("f64floor", std::floor(a));
+    expect_f64("f64trunc", std::trunc(a));
+    expect_f64("f64nearest", std::nearbyint(a));
+    float demoted = call_f32(*instance_, "demote", args);
+    if (std::isnan(a)) {
+      EXPECT_TRUE(std::isnan(demoted));
+    } else {
+      EXPECT_EQ(demoted, static_cast<float>(a));
+    }
+  }
+}
+
+TEST_F(NumericConformance, PromoteIsExact) {
+  for (float f : {0.0f, -0.0f, 1.5f, 3.4e38f, -1e-30f}) {
+    auto args = std::vector<TypedValue>{TypedValue::f32(f)};
+    EXPECT_EQ(call_f64(*instance_, "promote", args), static_cast<double>(f));
+  }
+}
+
+// Division/remainder trap matrix on a dedicated instance (traps are per
+// call; keeping them out of the shared instance keeps the sweep readable).
+class DivisionConformance : public ::testing::TestWithParam<std::pair<int32_t, int32_t>> {};
+
+TEST_P(DivisionConformance, SignedDivRemMatchWasmSemantics) {
+  ModuleBuilder mb;
+  auto& d = mb.add_func(FuncType{{ValType::kI32, ValType::kI32}, {ValType::kI32}}, "div");
+  d.local_get(0).local_get(1).op(Op::kI32DivS).end();
+  auto& r = mb.add_func(FuncType{{ValType::kI32, ValType::kI32}, {ValType::kI32}}, "rem");
+  r.local_get(0).local_get(1).op(Op::kI32RemS).end();
+  auto inst = instantiate(mb);
+  ASSERT_NE(inst, nullptr);
+
+  auto [a, b] = GetParam();
+  auto args = std::vector<TypedValue>{TypedValue::i32(a), TypedValue::i32(b)};
+  bool traps_div = b == 0 || (a == std::numeric_limits<int32_t>::min() && b == -1);
+  bool traps_rem = b == 0;
+  if (traps_div) {
+    EXPECT_EQ(call_expect_trap(*inst, "div", args).code, Error::Code::kTrap);
+  } else {
+    EXPECT_EQ(call_i32(*inst, "div", args), a / b);
+  }
+  if (traps_rem) {
+    EXPECT_EQ(call_expect_trap(*inst, "rem", args).code, Error::Code::kTrap);
+  } else if (a == std::numeric_limits<int32_t>::min() && b == -1) {
+    EXPECT_EQ(call_i32(*inst, "rem", args), 0);
+  } else {
+    EXPECT_EQ(call_i32(*inst, "rem", args), a % b);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EdgeCases, DivisionConformance,
+    ::testing::Values(std::pair{7, 2}, std::pair{-7, 2}, std::pair{7, -2},
+                      std::pair{-7, -2}, std::pair{0, 5}, std::pair{5, 0},
+                      std::pair{std::numeric_limits<int32_t>::min(), -1},
+                      std::pair{std::numeric_limits<int32_t>::min(), 1},
+                      std::pair{std::numeric_limits<int32_t>::max(), -1}));
+
+}  // namespace
+}  // namespace waran
+
+// Appended: f32 operator sweep (the engine stores f32 in the low half of
+// the untagged cell; these catch any upper-half contamination).
+namespace waran {
+namespace {
+using namespace wasmtest;
+
+class F32Conformance : public ::testing::Test {
+ protected:
+  static std::unique_ptr<wasm::Instance>& inst() {
+    static std::unique_ptr<wasm::Instance> instance = [] {
+      ModuleBuilder mb;
+      auto bin = [&](const char* name, Op op) {
+        auto& f = mb.add_func(FuncType{{ValType::kF32, ValType::kF32}, {ValType::kF32}}, name);
+        f.local_get(0).local_get(1).op(op).end();
+      };
+      auto un = [&](const char* name, Op op) {
+        auto& f = mb.add_func(FuncType{{ValType::kF32}, {ValType::kF32}}, name);
+        f.local_get(0).op(op).end();
+      };
+      bin("add", Op::kF32Add);
+      bin("sub", Op::kF32Sub);
+      bin("mul", Op::kF32Mul);
+      bin("div", Op::kF32Div);
+      bin("min", Op::kF32Min);
+      bin("max", Op::kF32Max);
+      bin("copysign", Op::kF32Copysign);
+      un("abs", Op::kF32Abs);
+      un("neg", Op::kF32Neg);
+      un("sqrt", Op::kF32Sqrt);
+      un("ceil", Op::kF32Ceil);
+      un("floor", Op::kF32Floor);
+      un("trunc", Op::kF32Trunc);
+      un("nearest", Op::kF32Nearest);
+      auto& cv = mb.add_func(FuncType{{ValType::kI32}, {ValType::kF32}}, "convu");
+      cv.local_get(0).op(Op::kF32ConvertI32U).end();
+      return instantiate(mb);
+    }();
+    return instance;
+  }
+
+  static const std::vector<float>& grid() {
+    static const std::vector<float> kGrid = {
+        0.0f, -0.0f, 1.0f, -2.5f, 3.4e38f, -3.4e38f, 1e-38f,
+        std::numeric_limits<float>::infinity(),
+        -std::numeric_limits<float>::infinity(),
+        std::numeric_limits<float>::quiet_NaN(), 0.3333333f};
+    return kGrid;
+  }
+};
+
+TEST_F(F32Conformance, BinaryOps) {
+  ASSERT_NE(inst(), nullptr);
+  for (float a : grid()) {
+    for (float b : grid()) {
+      auto args = std::vector<TypedValue>{TypedValue::f32(a), TypedValue::f32(b)};
+      auto expect = [&](const char* fn, float want) {
+        float got = call_f32(*inst(), fn, args);
+        if (std::isnan(want)) {
+          EXPECT_TRUE(std::isnan(got)) << fn << "(" << a << "," << b << ")";
+        } else {
+          EXPECT_EQ(got, want) << fn << "(" << a << "," << b << ")";
+          EXPECT_EQ(std::signbit(got), std::signbit(want)) << fn;
+        }
+      };
+      expect("add", a + b);
+      expect("sub", a - b);
+      expect("mul", a * b);
+      expect("div", a / b);
+      expect("copysign", std::copysign(a, b));
+      float want_min, want_max;
+      if (std::isnan(a) || std::isnan(b)) {
+        want_min = want_max = std::numeric_limits<float>::quiet_NaN();
+      } else if (a == b) {
+        want_min = std::signbit(a) ? a : b;
+        want_max = std::signbit(a) ? b : a;
+      } else {
+        want_min = a < b ? a : b;
+        want_max = a > b ? a : b;
+      }
+      expect("min", want_min);
+      expect("max", want_max);
+    }
+  }
+}
+
+TEST_F(F32Conformance, UnaryOps) {
+  ASSERT_NE(inst(), nullptr);
+  for (float a : grid()) {
+    auto args = std::vector<TypedValue>{TypedValue::f32(a)};
+    auto expect = [&](const char* fn, float want) {
+      float got = call_f32(*inst(), fn, args);
+      if (std::isnan(want)) {
+        EXPECT_TRUE(std::isnan(got)) << fn << "(" << a << ")";
+      } else {
+        EXPECT_EQ(got, want) << fn << "(" << a << ")";
+      }
+    };
+    expect("abs", std::fabs(a));
+    expect("neg", -a);
+    expect("sqrt", std::sqrt(a));
+    expect("ceil", std::ceil(a));
+    expect("floor", std::floor(a));
+    expect("trunc", std::trunc(a));
+    expect("nearest", std::nearbyintf(a));
+  }
+}
+
+TEST_F(F32Conformance, UnsignedConvertRoundsToNearestFloat) {
+  ASSERT_NE(inst(), nullptr);
+  for (uint32_t v : {0u, 1u, 0x80000000u, 0xffffffffu, 16777217u}) {
+    auto args = std::vector<TypedValue>{TypedValue::i32(static_cast<int32_t>(v))};
+    EXPECT_EQ(call_f32(*inst(), "convu", args), static_cast<float>(v)) << v;
+  }
+}
+
+}  // namespace
+}  // namespace waran

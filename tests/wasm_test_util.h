@@ -1,0 +1,83 @@
+// Shared helpers for the wasm engine tests: build -> decode -> validate ->
+// instantiate -> call, with assertion-friendly wrappers.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "wasm/wasm.h"
+#include "wasmbuilder/builder.h"
+
+namespace waran::wasmtest {
+
+using wasm::FuncType;
+using wasm::Op;
+using wasm::TypedValue;
+using wasm::ValType;
+using wasmbuilder::BlockT;
+using wasmbuilder::FunctionBuilder;
+using wasmbuilder::ModuleBuilder;
+
+/// Decodes + validates + instantiates; fails the test on any error.
+inline std::unique_ptr<wasm::Instance> instantiate(
+    const ModuleBuilder& mb, const wasm::Linker& linker = {},
+    const wasm::InstanceOptions& options = {}) {
+  auto bytes = mb.build();
+  auto module = wasm::decode_module(bytes);
+  EXPECT_TRUE(module.ok()) << (module.ok() ? "" : module.error().message);
+  if (!module.ok()) return nullptr;
+  auto st = wasm::validate_module(*module);
+  EXPECT_TRUE(st.ok()) << (st.ok() ? "" : st.error().message);
+  if (!st.ok()) return nullptr;
+  auto inst = wasm::Instance::instantiate(
+      std::make_shared<wasm::Module>(std::move(*module)), linker, options);
+  EXPECT_TRUE(inst.ok()) << (inst.ok() ? "" : inst.error().message);
+  if (!inst.ok()) return nullptr;
+  return std::move(*inst);
+}
+
+/// Calls an exported i32-returning function, asserting success.
+inline int32_t call_i32(wasm::Instance& inst, const char* name,
+                        std::vector<TypedValue> args = {}) {
+  auto r = inst.call(name, args);
+  EXPECT_TRUE(r.ok()) << (r.ok() ? "" : r.error().message);
+  if (!r.ok() || !r->has_value()) return INT32_MIN;
+  return (*r)->value.as_i32();
+}
+
+inline int64_t call_i64(wasm::Instance& inst, const char* name,
+                        std::vector<TypedValue> args = {}) {
+  auto r = inst.call(name, args);
+  EXPECT_TRUE(r.ok()) << (r.ok() ? "" : r.error().message);
+  if (!r.ok() || !r->has_value()) return INT64_MIN;
+  return (*r)->value.as_i64();
+}
+
+inline double call_f64(wasm::Instance& inst, const char* name,
+                       std::vector<TypedValue> args = {}) {
+  auto r = inst.call(name, args);
+  EXPECT_TRUE(r.ok()) << (r.ok() ? "" : r.error().message);
+  if (!r.ok() || !r->has_value()) return -1e308;
+  return (*r)->value.as_f64();
+}
+
+inline float call_f32(wasm::Instance& inst, const char* name,
+                      std::vector<TypedValue> args = {}) {
+  auto r = inst.call(name, args);
+  EXPECT_TRUE(r.ok()) << (r.ok() ? "" : r.error().message);
+  if (!r.ok() || !r->has_value()) return -1e38f;
+  return (*r)->value.as_f32();
+}
+
+/// Calls expecting a trap; returns the error (or fails the test).
+inline Error call_expect_trap(wasm::Instance& inst, const char* name,
+                              std::vector<TypedValue> args = {}) {
+  auto r = inst.call(name, args);
+  EXPECT_FALSE(r.ok()) << "expected a trap, call succeeded";
+  if (r.ok()) return Error::internal("no trap");
+  return r.error();
+}
+
+}  // namespace waran::wasmtest
