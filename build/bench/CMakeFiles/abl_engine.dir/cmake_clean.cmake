@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_engine.dir/abl_engine.cpp.o"
+  "CMakeFiles/abl_engine.dir/abl_engine.cpp.o.d"
+  "abl_engine"
+  "abl_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

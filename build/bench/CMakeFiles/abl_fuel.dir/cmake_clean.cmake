@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_fuel.dir/abl_fuel.cpp.o"
+  "CMakeFiles/abl_fuel.dir/abl_fuel.cpp.o.d"
+  "abl_fuel"
+  "abl_fuel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_fuel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_harq.dir/abl_harq.cpp.o"
+  "CMakeFiles/abl_harq.dir/abl_harq.cpp.o.d"
+  "abl_harq"
+  "abl_harq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_harq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

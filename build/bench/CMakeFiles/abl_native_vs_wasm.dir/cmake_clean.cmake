@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_native_vs_wasm.dir/abl_native_vs_wasm.cpp.o"
+  "CMakeFiles/abl_native_vs_wasm.dir/abl_native_vs_wasm.cpp.o.d"
+  "abl_native_vs_wasm"
+  "abl_native_vs_wasm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_native_vs_wasm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

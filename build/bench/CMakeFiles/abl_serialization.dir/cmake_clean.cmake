@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_serialization.dir/abl_serialization.cpp.o"
+  "CMakeFiles/abl_serialization.dir/abl_serialization.cpp.o.d"
+  "abl_serialization"
+  "abl_serialization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_serialization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_wcc_opt.dir/abl_wcc_opt.cpp.o"
+  "CMakeFiles/abl_wcc_opt.dir/abl_wcc_opt.cpp.o.d"
+  "abl_wcc_opt"
+  "abl_wcc_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_wcc_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

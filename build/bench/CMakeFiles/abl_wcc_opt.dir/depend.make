@@ -1,0 +1,2 @@
+# Empty dependencies file for abl_wcc_opt.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5a_coexistence.dir/fig5a_coexistence.cpp.o"
+  "CMakeFiles/fig5a_coexistence.dir/fig5a_coexistence.cpp.o.d"
+  "fig5a_coexistence"
+  "fig5a_coexistence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5a_coexistence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

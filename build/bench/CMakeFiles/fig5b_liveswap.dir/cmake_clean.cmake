@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5b_liveswap.dir/fig5b_liveswap.cpp.o"
+  "CMakeFiles/fig5b_liveswap.dir/fig5b_liveswap.cpp.o.d"
+  "fig5b_liveswap"
+  "fig5b_liveswap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5b_liveswap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5c_memsafety.dir/fig5c_memsafety.cpp.o"
+  "CMakeFiles/fig5c_memsafety.dir/fig5c_memsafety.cpp.o.d"
+  "fig5c_memsafety"
+  "fig5c_memsafety.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5c_memsafety.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

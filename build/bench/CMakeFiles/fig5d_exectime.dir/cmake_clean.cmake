@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5d_exectime.dir/fig5d_exectime.cpp.o"
+  "CMakeFiles/fig5d_exectime.dir/fig5d_exectime.cpp.o.d"
+  "fig5d_exectime"
+  "fig5d_exectime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5d_exectime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig5d_exectime.
+# This may be replaced when dependencies are built.

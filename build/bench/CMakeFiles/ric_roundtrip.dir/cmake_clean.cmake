@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ric_roundtrip.dir/ric_roundtrip.cpp.o"
+  "CMakeFiles/ric_roundtrip.dir/ric_roundtrip.cpp.o.d"
+  "ric_roundtrip"
+  "ric_roundtrip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ric_roundtrip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

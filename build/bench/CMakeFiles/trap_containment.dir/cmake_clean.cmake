@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trap_containment.dir/trap_containment.cpp.o"
+  "CMakeFiles/trap_containment.dir/trap_containment.cpp.o.d"
+  "trap_containment"
+  "trap_containment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trap_containment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interop_adapter.dir/interop_adapter.cpp.o"
+  "CMakeFiles/interop_adapter.dir/interop_adapter.cpp.o.d"
+  "interop_adapter"
+  "interop_adapter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interop_adapter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_swap.dir/live_swap.cpp.o"
+  "CMakeFiles/live_swap.dir/live_swap.cpp.o.d"
+  "live_swap"
+  "live_swap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_swap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvno_slicing.dir/mvno_slicing.cpp.o"
+  "CMakeFiles/mvno_slicing.dir/mvno_slicing.cpp.o.d"
+  "mvno_slicing"
+  "mvno_slicing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvno_slicing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for mvno_slicing.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ric_xapp.dir/ric_xapp.cpp.o"
+  "CMakeFiles/ric_xapp.dir/ric_xapp.cpp.o.d"
+  "ric_xapp"
+  "ric_xapp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ric_xapp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ric_xapp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for ric_xapp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codec/codecs.cpp" "src/codec/CMakeFiles/waran_codec.dir/codecs.cpp.o" "gcc" "src/codec/CMakeFiles/waran_codec.dir/codecs.cpp.o.d"
+  "/root/repo/src/codec/json.cpp" "src/codec/CMakeFiles/waran_codec.dir/json.cpp.o" "gcc" "src/codec/CMakeFiles/waran_codec.dir/json.cpp.o.d"
+  "/root/repo/src/codec/wire.cpp" "src/codec/CMakeFiles/waran_codec.dir/wire.cpp.o" "gcc" "src/codec/CMakeFiles/waran_codec.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/waran_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/waran_codec.dir/codecs.cpp.o"
+  "CMakeFiles/waran_codec.dir/codecs.cpp.o.d"
+  "CMakeFiles/waran_codec.dir/json.cpp.o"
+  "CMakeFiles/waran_codec.dir/json.cpp.o.d"
+  "CMakeFiles/waran_codec.dir/wire.cpp.o"
+  "CMakeFiles/waran_codec.dir/wire.cpp.o.d"
+  "libwaran_codec.a"
+  "libwaran_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/waran_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/waran_common.dir/bytes.cpp.o"
+  "CMakeFiles/waran_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/waran_common.dir/log.cpp.o"
+  "CMakeFiles/waran_common.dir/log.cpp.o.d"
+  "CMakeFiles/waran_common.dir/stats.cpp.o"
+  "CMakeFiles/waran_common.dir/stats.cpp.o.d"
+  "CMakeFiles/waran_common.dir/tracked_alloc.cpp.o"
+  "CMakeFiles/waran_common.dir/tracked_alloc.cpp.o.d"
+  "libwaran_common.a"
+  "libwaran_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/waran_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/plugin/governor.cpp" "src/plugin/CMakeFiles/waran_plugin.dir/governor.cpp.o" "gcc" "src/plugin/CMakeFiles/waran_plugin.dir/governor.cpp.o.d"
+  "/root/repo/src/plugin/manager.cpp" "src/plugin/CMakeFiles/waran_plugin.dir/manager.cpp.o" "gcc" "src/plugin/CMakeFiles/waran_plugin.dir/manager.cpp.o.d"
+  "/root/repo/src/plugin/plugin.cpp" "src/plugin/CMakeFiles/waran_plugin.dir/plugin.cpp.o" "gcc" "src/plugin/CMakeFiles/waran_plugin.dir/plugin.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/waran_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/wasm/CMakeFiles/waran_wasm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

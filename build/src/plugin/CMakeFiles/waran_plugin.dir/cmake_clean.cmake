@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/waran_plugin.dir/governor.cpp.o"
+  "CMakeFiles/waran_plugin.dir/governor.cpp.o.d"
+  "CMakeFiles/waran_plugin.dir/manager.cpp.o"
+  "CMakeFiles/waran_plugin.dir/manager.cpp.o.d"
+  "CMakeFiles/waran_plugin.dir/plugin.cpp.o"
+  "CMakeFiles/waran_plugin.dir/plugin.cpp.o.d"
+  "libwaran_plugin.a"
+  "libwaran_plugin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/waran_plugin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

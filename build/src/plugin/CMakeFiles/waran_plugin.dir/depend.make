@@ -1,0 +1,2 @@
+# Empty dependencies file for waran_plugin.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ran/channel.cpp" "src/ran/CMakeFiles/waran_ran.dir/channel.cpp.o" "gcc" "src/ran/CMakeFiles/waran_ran.dir/channel.cpp.o.d"
+  "/root/repo/src/ran/mac.cpp" "src/ran/CMakeFiles/waran_ran.dir/mac.cpp.o" "gcc" "src/ran/CMakeFiles/waran_ran.dir/mac.cpp.o.d"
+  "/root/repo/src/ran/phy_tables.cpp" "src/ran/CMakeFiles/waran_ran.dir/phy_tables.cpp.o" "gcc" "src/ran/CMakeFiles/waran_ran.dir/phy_tables.cpp.o.d"
+  "/root/repo/src/ran/traffic.cpp" "src/ran/CMakeFiles/waran_ran.dir/traffic.cpp.o" "gcc" "src/ran/CMakeFiles/waran_ran.dir/traffic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/waran_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/waran_codec.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

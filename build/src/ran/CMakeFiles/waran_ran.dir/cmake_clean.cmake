@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/waran_ran.dir/channel.cpp.o"
+  "CMakeFiles/waran_ran.dir/channel.cpp.o.d"
+  "CMakeFiles/waran_ran.dir/mac.cpp.o"
+  "CMakeFiles/waran_ran.dir/mac.cpp.o.d"
+  "CMakeFiles/waran_ran.dir/phy_tables.cpp.o"
+  "CMakeFiles/waran_ran.dir/phy_tables.cpp.o.d"
+  "CMakeFiles/waran_ran.dir/traffic.cpp.o"
+  "CMakeFiles/waran_ran.dir/traffic.cpp.o.d"
+  "libwaran_ran.a"
+  "libwaran_ran.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/waran_ran.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

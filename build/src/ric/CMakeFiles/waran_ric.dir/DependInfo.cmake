@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ric/e2lite.cpp" "src/ric/CMakeFiles/waran_ric.dir/e2lite.cpp.o" "gcc" "src/ric/CMakeFiles/waran_ric.dir/e2lite.cpp.o.d"
+  "/root/repo/src/ric/gnb_agent.cpp" "src/ric/CMakeFiles/waran_ric.dir/gnb_agent.cpp.o" "gcc" "src/ric/CMakeFiles/waran_ric.dir/gnb_agent.cpp.o.d"
+  "/root/repo/src/ric/near_rt_ric.cpp" "src/ric/CMakeFiles/waran_ric.dir/near_rt_ric.cpp.o" "gcc" "src/ric/CMakeFiles/waran_ric.dir/near_rt_ric.cpp.o.d"
+  "/root/repo/src/ric/plugin_sources.cpp" "src/ric/CMakeFiles/waran_ric.dir/plugin_sources.cpp.o" "gcc" "src/ric/CMakeFiles/waran_ric.dir/plugin_sources.cpp.o.d"
+  "/root/repo/src/ric/transport.cpp" "src/ric/CMakeFiles/waran_ric.dir/transport.cpp.o" "gcc" "src/ric/CMakeFiles/waran_ric.dir/transport.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/waran_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/plugin/CMakeFiles/waran_plugin.dir/DependInfo.cmake"
+  "/root/repo/build/src/ran/CMakeFiles/waran_ran.dir/DependInfo.cmake"
+  "/root/repo/build/src/wcc/CMakeFiles/waran_wcc.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/waran_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/wasmbuilder/CMakeFiles/waran_wasmbuilder.dir/DependInfo.cmake"
+  "/root/repo/build/src/wasm/CMakeFiles/waran_wasm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/waran_ric.dir/e2lite.cpp.o"
+  "CMakeFiles/waran_ric.dir/e2lite.cpp.o.d"
+  "CMakeFiles/waran_ric.dir/gnb_agent.cpp.o"
+  "CMakeFiles/waran_ric.dir/gnb_agent.cpp.o.d"
+  "CMakeFiles/waran_ric.dir/near_rt_ric.cpp.o"
+  "CMakeFiles/waran_ric.dir/near_rt_ric.cpp.o.d"
+  "CMakeFiles/waran_ric.dir/plugin_sources.cpp.o"
+  "CMakeFiles/waran_ric.dir/plugin_sources.cpp.o.d"
+  "CMakeFiles/waran_ric.dir/transport.cpp.o"
+  "CMakeFiles/waran_ric.dir/transport.cpp.o.d"
+  "libwaran_ric.a"
+  "libwaran_ric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/waran_ric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/waran_sched.dir/native.cpp.o"
+  "CMakeFiles/waran_sched.dir/native.cpp.o.d"
+  "CMakeFiles/waran_sched.dir/plugins.cpp.o"
+  "CMakeFiles/waran_sched.dir/plugins.cpp.o.d"
+  "CMakeFiles/waran_sched.dir/wasm_sched.cpp.o"
+  "CMakeFiles/waran_sched.dir/wasm_sched.cpp.o.d"
+  "libwaran_sched.a"
+  "libwaran_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/waran_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

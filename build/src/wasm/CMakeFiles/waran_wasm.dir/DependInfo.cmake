@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wasm/decoder.cpp" "src/wasm/CMakeFiles/waran_wasm.dir/decoder.cpp.o" "gcc" "src/wasm/CMakeFiles/waran_wasm.dir/decoder.cpp.o.d"
+  "/root/repo/src/wasm/disasm.cpp" "src/wasm/CMakeFiles/waran_wasm.dir/disasm.cpp.o" "gcc" "src/wasm/CMakeFiles/waran_wasm.dir/disasm.cpp.o.d"
+  "/root/repo/src/wasm/instance.cpp" "src/wasm/CMakeFiles/waran_wasm.dir/instance.cpp.o" "gcc" "src/wasm/CMakeFiles/waran_wasm.dir/instance.cpp.o.d"
+  "/root/repo/src/wasm/memory.cpp" "src/wasm/CMakeFiles/waran_wasm.dir/memory.cpp.o" "gcc" "src/wasm/CMakeFiles/waran_wasm.dir/memory.cpp.o.d"
+  "/root/repo/src/wasm/module.cpp" "src/wasm/CMakeFiles/waran_wasm.dir/module.cpp.o" "gcc" "src/wasm/CMakeFiles/waran_wasm.dir/module.cpp.o.d"
+  "/root/repo/src/wasm/opcode.cpp" "src/wasm/CMakeFiles/waran_wasm.dir/opcode.cpp.o" "gcc" "src/wasm/CMakeFiles/waran_wasm.dir/opcode.cpp.o.d"
+  "/root/repo/src/wasm/validator.cpp" "src/wasm/CMakeFiles/waran_wasm.dir/validator.cpp.o" "gcc" "src/wasm/CMakeFiles/waran_wasm.dir/validator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/waran_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/waran_wasm.dir/decoder.cpp.o"
+  "CMakeFiles/waran_wasm.dir/decoder.cpp.o.d"
+  "CMakeFiles/waran_wasm.dir/disasm.cpp.o"
+  "CMakeFiles/waran_wasm.dir/disasm.cpp.o.d"
+  "CMakeFiles/waran_wasm.dir/instance.cpp.o"
+  "CMakeFiles/waran_wasm.dir/instance.cpp.o.d"
+  "CMakeFiles/waran_wasm.dir/memory.cpp.o"
+  "CMakeFiles/waran_wasm.dir/memory.cpp.o.d"
+  "CMakeFiles/waran_wasm.dir/module.cpp.o"
+  "CMakeFiles/waran_wasm.dir/module.cpp.o.d"
+  "CMakeFiles/waran_wasm.dir/opcode.cpp.o"
+  "CMakeFiles/waran_wasm.dir/opcode.cpp.o.d"
+  "CMakeFiles/waran_wasm.dir/validator.cpp.o"
+  "CMakeFiles/waran_wasm.dir/validator.cpp.o.d"
+  "libwaran_wasm.a"
+  "libwaran_wasm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/waran_wasm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

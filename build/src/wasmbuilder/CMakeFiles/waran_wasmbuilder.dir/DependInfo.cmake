@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wasmbuilder/builder.cpp" "src/wasmbuilder/CMakeFiles/waran_wasmbuilder.dir/builder.cpp.o" "gcc" "src/wasmbuilder/CMakeFiles/waran_wasmbuilder.dir/builder.cpp.o.d"
+  "/root/repo/src/wasmbuilder/wat.cpp" "src/wasmbuilder/CMakeFiles/waran_wasmbuilder.dir/wat.cpp.o" "gcc" "src/wasmbuilder/CMakeFiles/waran_wasmbuilder.dir/wat.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/waran_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/wasm/CMakeFiles/waran_wasm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

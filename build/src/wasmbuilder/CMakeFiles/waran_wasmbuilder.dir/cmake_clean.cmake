@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/waran_wasmbuilder.dir/builder.cpp.o"
+  "CMakeFiles/waran_wasmbuilder.dir/builder.cpp.o.d"
+  "CMakeFiles/waran_wasmbuilder.dir/wat.cpp.o"
+  "CMakeFiles/waran_wasmbuilder.dir/wat.cpp.o.d"
+  "libwaran_wasmbuilder.a"
+  "libwaran_wasmbuilder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/waran_wasmbuilder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

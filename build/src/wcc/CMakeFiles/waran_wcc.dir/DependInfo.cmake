@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wcc/compiler.cpp" "src/wcc/CMakeFiles/waran_wcc.dir/compiler.cpp.o" "gcc" "src/wcc/CMakeFiles/waran_wcc.dir/compiler.cpp.o.d"
+  "/root/repo/src/wcc/lexer.cpp" "src/wcc/CMakeFiles/waran_wcc.dir/lexer.cpp.o" "gcc" "src/wcc/CMakeFiles/waran_wcc.dir/lexer.cpp.o.d"
+  "/root/repo/src/wcc/optimizer.cpp" "src/wcc/CMakeFiles/waran_wcc.dir/optimizer.cpp.o" "gcc" "src/wcc/CMakeFiles/waran_wcc.dir/optimizer.cpp.o.d"
+  "/root/repo/src/wcc/parser.cpp" "src/wcc/CMakeFiles/waran_wcc.dir/parser.cpp.o" "gcc" "src/wcc/CMakeFiles/waran_wcc.dir/parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/waran_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/wasm/CMakeFiles/waran_wasm.dir/DependInfo.cmake"
+  "/root/repo/build/src/wasmbuilder/CMakeFiles/waran_wasmbuilder.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

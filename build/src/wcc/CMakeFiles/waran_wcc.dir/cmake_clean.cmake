@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/waran_wcc.dir/compiler.cpp.o"
+  "CMakeFiles/waran_wcc.dir/compiler.cpp.o.d"
+  "CMakeFiles/waran_wcc.dir/lexer.cpp.o"
+  "CMakeFiles/waran_wcc.dir/lexer.cpp.o.d"
+  "CMakeFiles/waran_wcc.dir/optimizer.cpp.o"
+  "CMakeFiles/waran_wcc.dir/optimizer.cpp.o.d"
+  "CMakeFiles/waran_wcc.dir/parser.cpp.o"
+  "CMakeFiles/waran_wcc.dir/parser.cpp.o.d"
+  "libwaran_wcc.a"
+  "libwaran_wcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/waran_wcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

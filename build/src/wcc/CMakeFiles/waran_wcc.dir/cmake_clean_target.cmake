@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwaran_wcc.a"
+)

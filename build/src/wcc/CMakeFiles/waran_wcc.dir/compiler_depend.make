@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for waran_wcc.
+# This may be replaced when dependencies are built.

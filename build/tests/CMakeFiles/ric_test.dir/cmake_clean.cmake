@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ric_test.dir/ric_test.cpp.o"
+  "CMakeFiles/ric_test.dir/ric_test.cpp.o.d"
+  "ric_test"
+  "ric_test.pdb"
+  "ric_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ric_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

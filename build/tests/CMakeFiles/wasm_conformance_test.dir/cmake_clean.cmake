@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wasm_conformance_test.dir/wasm_conformance_test.cpp.o"
+  "CMakeFiles/wasm_conformance_test.dir/wasm_conformance_test.cpp.o.d"
+  "wasm_conformance_test"
+  "wasm_conformance_test.pdb"
+  "wasm_conformance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wasm_conformance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wasm_engine_test.dir/wasm_engine_test.cpp.o"
+  "CMakeFiles/wasm_engine_test.dir/wasm_engine_test.cpp.o.d"
+  "wasm_engine_test"
+  "wasm_engine_test.pdb"
+  "wasm_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wasm_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

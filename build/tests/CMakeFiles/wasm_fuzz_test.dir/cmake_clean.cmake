@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wasm_fuzz_test.dir/wasm_fuzz_test.cpp.o"
+  "CMakeFiles/wasm_fuzz_test.dir/wasm_fuzz_test.cpp.o.d"
+  "wasm_fuzz_test"
+  "wasm_fuzz_test.pdb"
+  "wasm_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wasm_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wasm_validation_test.dir/wasm_validation_test.cpp.o"
+  "CMakeFiles/wasm_validation_test.dir/wasm_validation_test.cpp.o.d"
+  "wasm_validation_test"
+  "wasm_validation_test.pdb"
+  "wasm_validation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wasm_validation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wcc_opt_test.dir/wcc_opt_test.cpp.o"
+  "CMakeFiles/wcc_opt_test.dir/wcc_opt_test.cpp.o.d"
+  "wcc_opt_test"
+  "wcc_opt_test.pdb"
+  "wcc_opt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wcc_opt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wcc_programs_test.dir/wcc_programs_test.cpp.o"
+  "CMakeFiles/wcc_programs_test.dir/wcc_programs_test.cpp.o.d"
+  "wcc_programs_test"
+  "wcc_programs_test.pdb"
+  "wcc_programs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wcc_programs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

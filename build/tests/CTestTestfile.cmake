@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/wasm_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/wasm_validation_test[1]_include.cmake")
+include("/root/repo/build/tests/wasm_conformance_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_stress_test[1]_include.cmake")
+include("/root/repo/build/tests/wasm_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/disasm_test[1]_include.cmake")
+include("/root/repo/build/tests/wat_test[1]_include.cmake")
+include("/root/repo/build/tests/codec_test[1]_include.cmake")
+include("/root/repo/build/tests/wcc_test[1]_include.cmake")
+include("/root/repo/build/tests/wcc_opt_test[1]_include.cmake")
+include("/root/repo/build/tests/wcc_programs_test[1]_include.cmake")
+include("/root/repo/build/tests/plugin_test[1]_include.cmake")
+include("/root/repo/build/tests/governor_test[1]_include.cmake")
+include("/root/repo/build/tests/ran_test[1]_include.cmake")
+include("/root/repo/build/tests/sched_test[1]_include.cmake")
+include("/root/repo/build/tests/ric_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/isolation_test[1]_include.cmake")
+add_test(waranc_cli_roundtrip "sh" "-c" "set -e; tmp=\$(mktemp -d); trap 'rm -rf \$tmp' EXIT; printf 'export fn run() -> i32 { var n: i32 = input_len(); input_read(0,0,n); output_write(0,n); return 0; }' > \$tmp/p.w; /root/repo/build/tools/waranc build \$tmp/p.w -o \$tmp/p.wasm; /root/repo/build/tools/waranc check \$tmp/p.wasm; /root/repo/build/tools/waranc dump \$tmp/p.wasm > \$tmp/p.wat; /root/repo/build/tools/waranc asm \$tmp/p.wat -o \$tmp/p2.wasm; a=\$(/root/repo/build/tools/waranc run \$tmp/p.wasm run --input-hex deadbeef); b=\$(/root/repo/build/tools/waranc run \$tmp/p2.wasm run --input-hex deadbeef); test \"\$a\" = \"\$b\"; test \"\$a\" = deadbeef")
+set_tests_properties(waranc_cli_roundtrip PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;36;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(waranc_cli_rejects_garbage "sh" "-c" "tmp=\$(mktemp -d); trap 'rm -rf \$tmp' EXIT; printf 'garbage' > \$tmp/bad.wasm; if /root/repo/build/tools/waranc check \$tmp/bad.wasm; then exit 1; else exit 0; fi")
+set_tests_properties(waranc_cli_rejects_garbage PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;48;add_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/waranc.dir/waranc.cpp.o"
+  "CMakeFiles/waranc.dir/waranc.cpp.o.d"
+  "waranc"
+  "waranc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/waranc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
