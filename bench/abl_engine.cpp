@@ -4,10 +4,59 @@
 // budget and quantify where an AoT backend (§6C future work) would help.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+
+#include "common/tracked_alloc.h"
 #include "plugin/plugin.h"
 #include "wasm/wasm.h"
 #include "wasmbuilder/builder.h"
 #include "wcc/compiler.h"
+
+// Route this binary's real heap traffic through the common/tracked_alloc
+// probe so BM_DispatchThroughput can assert the warm-call zero-allocation
+// guarantee with actual operator-new counts, not a proxy. GCC flags the
+// malloc-backed operator delete as a new/free mismatch; the pairing is
+// consistent (operator new is malloc-backed too), so silence it.
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+void* operator new(std::size_t n) {
+  waran::heap_probe::note_alloc(n);
+  void* p = std::malloc(n);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t n) {
+  waran::heap_probe::note_alloc(n);
+  void* p = std::malloc(n);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void operator delete(void* p) noexcept {
+  waran::heap_probe::note_free();
+  std::free(p);
+}
+void operator delete(void* p, std::size_t) noexcept {
+  waran::heap_probe::note_free();
+  std::free(p);
+}
+void operator delete[](void* p) noexcept {
+  waran::heap_probe::note_free();
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t) noexcept {
+  waran::heap_probe::note_free();
+  std::free(p);
+}
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 namespace {
 
@@ -166,6 +215,61 @@ void BM_CallIndirect(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 10000);
 }
 
+void BM_DispatchThroughput(benchmark::State& state) {
+  // Core dispatch loop, metered vs unmetered. Under the old per-instruction
+  // fuel model the metered arm paid a decrement+branch on every retired
+  // instruction; with block-level (segment) charging both arms run the same
+  // hot loop and the gap collapses to one charge per straight-line segment.
+  // Also asserts the warm-call zero-allocation guarantee with real
+  // operator-new counts (this TU overrides global new/delete into
+  // heap_probe), so a regression aborts the bench rather than just skewing
+  // the numbers.
+  auto inst = instantiate_w(R"(
+    export fn work(n: i32) -> i32 {
+      var acc: i32 = 0;
+      var i: i32 = 0;
+      while (i < n) {
+        if (i % 3 == 0) { acc = acc + i * 7; } else { acc = acc - i / 3; }
+        i = i + 1;
+      }
+      return acc;
+    }
+  )");
+  int64_t n = state.range(0);
+  const bool metered = state.range(1) != 0;
+  wasm::CallOptions opts;
+  opts.fuel = metered ? uint64_t{1} << 40 : uint64_t{0};
+  wasm::CallStats stats;
+  std::vector<TypedValue> args = {TypedValue::i32(static_cast<int32_t>(n))};
+
+  // Warm up, then assert zero heap traffic across repeated warm calls.
+  for (int i = 0; i < 4; ++i) {
+    if (!inst->call("work", args, opts, &stats).ok()) std::abort();
+  }
+  const uint64_t allocs_before = heap_probe::allocations();
+  for (int i = 0; i < 64; ++i) {
+    if (!inst->call("work", args, opts, &stats).ok()) std::abort();
+  }
+  const uint64_t warm_allocs = heap_probe::allocations() - allocs_before;
+  if (warm_allocs != 0) {
+    std::fprintf(stderr,
+                 "zero-alloc guarantee broken: %llu heap allocations across "
+                 "64 warm Instance::call invocations\n",
+                 static_cast<unsigned long long>(warm_allocs));
+    std::abort();
+  }
+
+  for (auto _ : state) {
+    auto r = inst->call("work", args, opts, &stats);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(stats.instrs_retired));
+  state.counters["instrs_per_call"] = static_cast<double>(stats.instrs_retired);
+  state.counters["fuel_per_call"] = static_cast<double>(stats.fuel_used);
+  state.counters["warm_heap_allocs"] = static_cast<double>(warm_allocs);
+}
+
 void BM_DecodeValidate(benchmark::State& state) {
   // Toolchain-side cost: how long from plugin bytes to a validated module
   // (the static-analysis step MNOs run before deployment, §3A).
@@ -192,6 +296,10 @@ BENCHMARK(BM_MemoryStream)->Arg(1000)->Arg(100000);
 BENCHMARK(BM_WasmToWasmCall);
 BENCHMARK(BM_HostCallRoundTrip);
 BENCHMARK(BM_CallIndirect);
+BENCHMARK(BM_DispatchThroughput)
+    ->Args({100000, 0})
+    ->Args({100000, 1})
+    ->ArgNames({"n", "metered"});
 BENCHMARK(BM_DecodeValidate);
 
 }  // namespace

@@ -1,6 +1,24 @@
 #include "common/tracked_alloc.h"
 
+#include <atomic>
+
 namespace waran {
+
+namespace heap_probe {
+namespace {
+std::atomic<uint64_t> g_allocs{0};
+std::atomic<uint64_t> g_bytes{0};
+}  // namespace
+
+void note_alloc(size_t bytes) noexcept {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  g_bytes.fetch_add(bytes, std::memory_order_relaxed);
+}
+void note_free() noexcept {}
+uint64_t allocations() noexcept { return g_allocs.load(std::memory_order_relaxed); }
+uint64_t bytes() noexcept { return g_bytes.load(std::memory_order_relaxed); }
+
+}  // namespace heap_probe
 
 Result<uint64_t> TrackedHeap::allocate(size_t bytes) {
   if (bytes == 0) return Error::invalid_argument("zero-byte allocation");

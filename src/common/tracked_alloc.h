@@ -44,4 +44,22 @@ class TrackedHeap {
   uint64_t free_count_ = 0;
 };
 
+/// Process-wide *real*-heap probe for zero-allocation assertions (the
+/// engine's warm-call guarantee). The counters only advance in binaries
+/// whose main translation unit overrides the global operator new/delete to
+/// call note_alloc/note_free — the engine bench and the ExecContext test do
+/// this; everywhere else the probe reads zero. Counters are atomics so a
+/// multi-threaded harness cannot corrupt them, but a zero-alloc assertion
+/// is only meaningful over a single-threaded measured region.
+namespace heap_probe {
+
+void note_alloc(size_t bytes) noexcept;
+void note_free() noexcept;
+/// Number of operator-new calls observed so far.
+uint64_t allocations() noexcept;
+/// Total bytes requested from operator new so far.
+uint64_t bytes() noexcept;
+
+}  // namespace heap_probe
+
 }  // namespace waran

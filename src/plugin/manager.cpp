@@ -49,6 +49,8 @@ Result<std::vector<uint8_t>> PluginManager::call(const std::string& slot,
   }
   ++s.health.calls;
   auto result = s.plugin->call(fn, input);
+  const wasm::CallStats& cs = s.plugin->last_call_stats();
+  s.cost.add(cs.fuel_used, cs.instrs_retired, cs.wall_ns, cs.peak_stack_depth);
   if (!result.ok()) {
     if (result.error().code == Error::Code::kState) {
       // Deliberate rejection: legitimate behaviour (a comm plugin refusing
@@ -83,6 +85,11 @@ std::vector<std::string> PluginManager::slot_names() const {
 const SlotHealth* PluginManager::health(const std::string& slot) const {
   auto it = slots_.find(slot);
   return it == slots_.end() ? nullptr : &it->second.health;
+}
+
+const CallCostAcc* PluginManager::cost(const std::string& slot) const {
+  auto it = slots_.find(slot);
+  return it == slots_.end() ? nullptr : &it->second.cost;
 }
 
 Status PluginManager::reset_quarantine(const std::string& slot) {

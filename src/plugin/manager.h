@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/stats.h"
 #include "plugin/plugin.h"
 
 namespace waran::plugin {
@@ -62,6 +63,11 @@ class PluginManager {
   std::vector<std::string> slot_names() const;
 
   const SlotHealth* health(const std::string& slot) const;
+  /// Per-slot call-cost distribution (fuel, instructions, wall time, stack
+  /// depth), accumulated from the engine's CallStats on every call —
+  /// including faulting ones, whose partial cost still counts against the
+  /// slot. Null if the slot does not exist.
+  const CallCostAcc* cost(const std::string& slot) const;
   /// Lifts quarantine manually (operator intervention).
   Status reset_quarantine(const std::string& slot);
 
@@ -75,6 +81,7 @@ class PluginManager {
   struct Slot {
     std::shared_ptr<Plugin> plugin;
     SlotHealth health;
+    CallCostAcc cost;
   };
 
   PluginLimits default_limits_;

@@ -147,6 +147,7 @@ size_t Plugin::memory_bytes() const {
 
 Result<std::vector<uint8_t>> Plugin::call(const std::string& fn,
                                           std::span<const uint8_t> input) {
+  last_call_stats_ = {};
   if (input.size() > limits_.max_input_bytes) {
     return Error::limit_exceeded("plugin input exceeds limit");
   }
@@ -154,17 +155,18 @@ Result<std::vector<uint8_t>> Plugin::call(const std::string& fn,
   exchange_.output.clear();
   exchange_.log.clear();
 
-  if (limits_.fuel_per_call > 0) {
-    instance_->set_fuel(limits_.fuel_per_call);
-  } else {
-    instance_->disable_fuel();
+  // Per-call policy: fuel_per_call maps directly onto CallOptions (0 means
+  // unmetered in both vocabularies), and the optional wall-clock deadline
+  // rides along. The instance restores its fuel state after the call.
+  wasm::CallOptions options;
+  options.fuel = limits_.fuel_per_call;
+  if (limits_.deadline_ns_per_call > 0) {
+    options.deadline = std::chrono::nanoseconds(limits_.deadline_ns_per_call);
   }
 
-  uint64_t retired_before = instance_->instructions_retired();
   ++stats_.calls;
-  auto result = instance_->call(fn, {});
-  last_call_instructions_ = instance_->instructions_retired() - retired_before;
-  stats_.instructions_retired += last_call_instructions_;
+  auto result = instance_->call(fn, {}, options, &last_call_stats_);
+  stats_.instructions_retired += last_call_stats_.instrs_retired;
 
   if (!result.ok()) {
     if (result.error().code == Error::Code::kFuelExhausted) {

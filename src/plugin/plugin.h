@@ -23,6 +23,9 @@ namespace waran::plugin {
 struct PluginLimits {
   /// Fuel units (≈ interpreted instructions) per call; 0 disables metering.
   uint64_t fuel_per_call = 2'000'000;
+  /// Wall-clock budget per call in nanoseconds; 0 disables the deadline.
+  /// Overruns surface as fuel exhaustion (the paper's slot-budget guard).
+  uint64_t deadline_ns_per_call = 0;
   /// Largest input payload the host will pass in.
   uint32_t max_input_bytes = 1 << 20;
   /// Largest output payload the host will accept.
@@ -66,7 +69,10 @@ class Plugin {
   /// Adjusts the per-call fuel budget at runtime (driven by FuelGovernor).
   void set_fuel_per_call(uint64_t fuel) { limits_.fuel_per_call = fuel; }
   /// Instructions retired by the most recent call (0 before any call).
-  uint64_t last_call_instructions() const { return last_call_instructions_; }
+  uint64_t last_call_instructions() const { return last_call_stats_.instrs_retired; }
+  /// Full cost record of the most recent call (fuel, instructions, wall
+  /// time, peak interpreter stack depth).
+  const wasm::CallStats& last_call_stats() const { return last_call_stats_; }
 
   /// Linear-memory footprint right now (bytes). Fig. 5c probes this.
   size_t memory_bytes() const;
@@ -93,7 +99,7 @@ class Plugin {
   Exchange exchange_;
   PluginLimits limits_;
   PluginStats stats_;
-  uint64_t last_call_instructions_ = 0;
+  wasm::CallStats last_call_stats_;
 };
 
 }  // namespace waran::plugin

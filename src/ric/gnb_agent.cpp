@@ -69,6 +69,14 @@ wasm::Linker GnbAgent::control_host_functions() {
   return linker;
 }
 
+void GnbAgent::account_plugin(const std::string& slot) {
+  plugin::Plugin* p = plugins_.plugin(slot);
+  if (p == nullptr) return;
+  const wasm::CallStats& cs = p->last_call_stats();
+  stats_.plugin_fuel_used += cs.fuel_used;
+  stats_.plugin_wall_ns += cs.wall_ns;
+}
+
 Status GnbAgent::load_control_plugin(std::span<const uint8_t> module_bytes) {
   wasm::Linker host = control_host_functions();
   if (plugins_.has("ctl")) return plugins_.swap("ctl", module_bytes, host);
@@ -105,8 +113,10 @@ Status GnbAgent::send_indication() {
   }
 
   std::vector<uint8_t> payload = encode_indication(report);
-  WARAN_TRY(frame, plugins_.call("comm", "frame", payload));
-  link_.send(side_, std::move(frame));
+  auto frame = plugins_.call("comm", "frame", payload);
+  account_plugin("comm");
+  if (!frame.ok()) return frame.error();
+  link_.send(side_, std::move(*frame));
   ++stats_.indications_sent;
   return {};
 }
@@ -115,6 +125,7 @@ Status GnbAgent::poll() {
   while (auto frame = link_.receive(side_)) {
     ++stats_.frames_received;
     auto payload = plugins_.call("comm", "unframe", *frame);
+    account_plugin("comm");
     if (!payload.ok()) {
       // The sandbox rejected the frame (bad magic/length/checksum): drop it
       // before any host-side parsing touches it.
@@ -128,6 +139,7 @@ Status GnbAgent::poll() {
     }
     if (!plugins_.has("ctl")) continue;
     auto applied = plugins_.call("ctl", "apply_control", *payload);
+    account_plugin("ctl");
     if (!applied.ok()) {
       ++stats_.frames_rejected;
       WARAN_LOG(kDebug, "agent", "control plugin fault: " << applied.error().message);

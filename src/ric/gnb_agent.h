@@ -29,6 +29,11 @@ struct AgentStats {
   uint64_t cqi_table_updates = 0;
   uint64_t handovers = 0;
   uint64_t period_updates = 0;
+  // Aggregate comm+ctl plugin execution cost on the gNB's critical path,
+  // from the engine's per-call CallStats (the slot-budget share the
+  // sandboxed wire/control plugins consumed).
+  uint64_t plugin_fuel_used = 0;
+  uint64_t plugin_wall_ns = 0;
 };
 
 class GnbAgent {
@@ -70,12 +75,19 @@ class GnbAgent {
   uint32_t cqi_table_index() const { return cqi_table_index_; }
   uint32_t cell_id() const { return cell_id_; }
 
+  /// Call-cost distribution for one of the agent's plugin slots ("comm" or
+  /// "ctl"); null if that plugin is not loaded.
+  const CallCostAcc* plugin_cost(const std::string& slot) const {
+    return plugins_.cost(slot);
+  }
+
   /// Slots between indications (RIC-configurable via the v2 control plugin
   /// and the set_report_period action; default 100 = 100 ms).
   uint32_t report_period_slots() const { return report_period_slots_; }
 
  private:
   wasm::Linker control_host_functions();
+  void account_plugin(const std::string& slot);
 
   uint32_t cell_id_;
   ran::GnbMac& mac_;

@@ -631,6 +631,18 @@ Status Decoder::link_control(Code& code) {
     }
   }
   if (!stack.empty()) return Error::internal("unclosed block after decode");
+
+  // Fuel segments: a segment is a maximal straight-line run ending at (and
+  // including) the next instruction that can divert control. Every
+  // instruction records the length of the run that starts at it, so any
+  // branch target or fall-through point can be charged in O(1). Computed
+  // backwards; the final function-level `end` is the base case.
+  for (size_t i = code.body.size(); i-- > 0;) {
+    Instr& ins = code.body[i];
+    ins.seg_len = (is_segment_end(ins.op) || i + 1 == code.body.size())
+                      ? 1
+                      : code.body[i + 1].seg_len + 1;
+  }
   return {};
 }
 

@@ -147,7 +147,7 @@ Result<std::unique_ptr<Instance>> Instance::instantiate(
   // Start function.
   if (m.start) {
     Value unused;
-    WARAN_CHECK_OK(inst->invoke(*m.start, {}, &unused, 0));
+    WARAN_CHECK_OK(inst->invoke(*m.start, {}, &unused));
   }
 
   return inst;
@@ -161,7 +161,9 @@ std::optional<uint32_t> Instance::find_export(std::string_view name, ImportKind 
 }
 
 Result<std::optional<TypedValue>> Instance::call(std::string_view export_name,
-                                                 std::span<const TypedValue> args) {
+                                                 std::span<const TypedValue> args,
+                                                 const CallOptions& options,
+                                                 CallStats* stats) {
   auto idx = find_export(export_name, ImportKind::kFunc);
   if (!idx) return Error::not_found("no exported function named " + std::string(export_name));
   const FuncType& ft = module_->func_type(*idx);
@@ -170,72 +172,165 @@ Result<std::optional<TypedValue>> Instance::call(std::string_view export_name,
                                    std::to_string(ft.params.size()) + ", got " +
                                    std::to_string(args.size()));
   }
-  std::vector<Value> raw;
-  raw.reserve(args.size());
+  // Arguments are staged in a fixed buffer so a warm call performs no heap
+  // allocation; more than 16 parameters is a cold path.
+  Value argbuf[16];
+  std::vector<Value> argspill;
+  Value* raw = argbuf;
+  if (args.size() > 16) {
+    argspill.resize(args.size());
+    raw = argspill.data();
+  }
   for (size_t i = 0; i < args.size(); ++i) {
     if (args[i].type != ft.params[i]) {
       return Error::invalid_argument("argument " + std::to_string(i) + " type mismatch");
     }
-    raw.push_back(args[i].value);
+    raw[i] = args[i].value;
   }
-  auto r = call_index(*idx, raw);
-  if (!r.ok()) return r.error();
-  if (ft.results.empty()) return std::optional<TypedValue>{};
-  return std::optional<TypedValue>{TypedValue{ft.results[0], **r}};
-}
 
-Result<std::optional<Value>> Instance::call_index(uint32_t func_index,
-                                                  std::span<const Value> args) {
-  if (func_index >= module_->num_funcs()) {
-    return Error::invalid_argument("function index out of range");
+  // Per-call fuel policy, restored after the call: nullopt inherits the
+  // instance-level set_fuel state, 0 disables metering, >0 is a fresh budget.
+  const bool saved_enabled = fuel_enabled_;
+  const uint64_t saved_fuel = fuel_;
+  if (options.fuel) {
+    fuel_enabled_ = *options.fuel > 0;
+    if (*options.fuel > 0) fuel_ = *options.fuel;
   }
-  const FuncType& ft = module_->func_type(func_index);
+  const bool saved_deadline_armed = deadline_armed_;
+  const auto saved_deadline = deadline_;
+  if (options.deadline) {
+    deadline_armed_ = true;
+    deadline_ = std::chrono::steady_clock::now() + *options.deadline;
+  }
+
+  const bool metered = fuel_enabled_;
+  const uint64_t fuel_before = fuel_;
+  const uint64_t retired_before = instructions_retired_;
+  const uint32_t prev_peak = exec_.peak_frames;
+  exec_.peak_frames = static_cast<uint32_t>(exec_.frames.size());
+
+  const auto t0 = std::chrono::steady_clock::now();
   Value result{};
-  WARAN_CHECK_OK(invoke(func_index, args, &result, 0));
-  if (ft.results.empty()) return std::optional<Value>{};
-  return std::optional<Value>{result};
+  Status st = invoke(*idx, std::span<const Value>(raw, args.size()), &result);
+  const auto t1 = std::chrono::steady_clock::now();
+
+  if (stats != nullptr) {
+    stats->instrs_retired = instructions_retired_ - retired_before;
+    stats->fuel_used = metered ? fuel_before - fuel_ : stats->instrs_retired;
+    stats->wall_ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+    stats->peak_stack_depth = exec_.peak_frames;
+  }
+  if (exec_.peak_frames < prev_peak) exec_.peak_frames = prev_peak;
+  if (options.fuel) {
+    fuel_enabled_ = saved_enabled;
+    fuel_ = saved_fuel;
+  }
+  if (options.deadline) {
+    deadline_armed_ = saved_deadline_armed;
+    deadline_ = saved_deadline;
+  }
+
+  if (!st.ok()) return st.error();
+  if (ft.results.empty()) return std::optional<TypedValue>{};
+  return std::optional<TypedValue>{TypedValue{ft.results[0], result}};
 }
 
 Status Instance::invoke_host(uint32_t import_index, std::span<const Value> args,
                              Value* result) {
   const HostFunc& hf = host_funcs_[import_index];
+  // Stage the arguments outside the shared value stack: a host function may
+  // re-enter wasm via Instance::call, growing exec_.values and invalidating
+  // any span into it.
+  Value buf[16];
+  std::vector<Value> spill;
+  const Value* src = buf;
+  if (args.size() <= 16) {
+    if (!args.empty()) std::memcpy(buf, args.data(), args.size() * sizeof(Value));
+  } else {
+    spill.assign(args.begin(), args.end());
+    src = spill.data();
+  }
   HostContext ctx{*this, user_data_};
-  auto r = hf.fn(ctx, args);
+  auto r = hf.fn(ctx, std::span<const Value>(src, args.size()));
   if (!r.ok()) return r.error();
   if (r->has_value()) *result = **r;
   return {};
 }
 
-Status Instance::invoke(uint32_t func_index, std::span<const Value> args, Value* result,
-                        uint32_t depth) {
-  if (depth >= max_call_depth_) return Error::trap("call stack exhausted");
+Status Instance::push_frame(uint32_t func_index) {
+  ExecContext& ec = exec_;
+  if (ec.frames.size() >= max_call_depth_) return Error::trap("call stack exhausted");
+  const Code& code = module_->codes[func_index - module_->num_imported_funcs];
+  const FuncType& ft = module_->func_type(func_index);
+  const size_t nparams = ft.params.size();
+  const uint32_t locals_base = static_cast<uint32_t>(ec.locals.size());
+  const uint32_t stack_base = static_cast<uint32_t>(ec.values.size() - nparams);
+  const uint32_t label_base = static_cast<uint32_t>(ec.labels.size());
+
+  // Arguments move off the value stack into the locals arena; the remaining
+  // declared locals are value-initialized (zeroed) by resize.
+  ec.locals.resize(locals_base + nparams + code.locals.size());
+  if (nparams > 0) {
+    std::memcpy(ec.locals.data() + locals_base, ec.values.data() + stack_base,
+                nparams * sizeof(Value));
+    ec.values.resize(stack_base);
+  }
+
+  const uint8_t result_arity = static_cast<uint8_t>(ft.results.size());
+  ec.labels.push_back(
+      {static_cast<uint32_t>(code.body.size()), stack_base, result_arity});
+  ec.frames.push_back(
+      {&code, 0, func_index, locals_base, stack_base, label_base, result_arity});
+  if (ec.frames.size() > ec.peak_frames) {
+    ec.peak_frames = static_cast<uint32_t>(ec.frames.size());
+  }
+  return {};
+}
+
+Status Instance::charge(const Code& code, uint32_t pc) {
+  const uint32_t seg = code.body[pc].seg_len;
+  if (fuel_enabled_) {
+    if (fuel_ < seg) return Error::fuel_exhausted("plugin exceeded its fuel budget");
+    fuel_ -= seg;
+  }
+  instructions_retired_ += seg;
+  if (deadline_armed_ && (++charge_ticks_ & 63u) == 0 &&
+      std::chrono::steady_clock::now() > deadline_) {
+    return Error::fuel_exhausted("plugin exceeded its wall-clock deadline");
+  }
+  return {};
+}
+
+Status Instance::invoke(uint32_t func_index, std::span<const Value> args, Value* result) {
   if (func_index < module_->num_imported_funcs) {
     return invoke_host(func_index, args, result);
   }
+  ExecContext& ec = exec_;
+  const size_t base_frames = ec.frames.size();
+  const size_t base_values = ec.values.size();
+  const size_t base_labels = ec.labels.size();
+  const size_t base_locals = ec.locals.size();
 
-  const Code& code = module_->codes[func_index - module_->num_imported_funcs];
   const FuncType& ft = module_->func_type(func_index);
-
-  std::vector<Value> locals(ft.params.size() + code.locals.size());
-  if (!args.empty()) {
-    std::memcpy(locals.data(), args.data(), args.size() * sizeof(Value));
+  ec.values.insert(ec.values.end(), args.begin(), args.end());
+  Status st = push_frame(func_index);
+  if (st.ok()) st = run(base_frames, result, static_cast<uint8_t>(ft.results.size()));
+  if (!st.ok()) {
+    // Unwind everything this call pushed so the shared ExecContext stays
+    // consistent for the enclosing call (or the next one).
+    ec.frames.resize(base_frames);
+    ec.values.resize(base_values);
+    ec.labels.resize(base_labels);
+    ec.locals.resize(base_locals);
   }
+  return st;
+}
 
-  std::vector<Value> stack;
-  stack.reserve(32);
-
-  struct LabelRt {
-    uint32_t cont;
-    uint32_t height;
-    uint8_t arity;
-  };
-  std::vector<LabelRt> labels;
-  labels.reserve(8);
-  const uint32_t body_size = static_cast<uint32_t>(code.body.size());
-  labels.push_back({body_size, 0, static_cast<uint8_t>(ft.results.size())});
-
-  const Instr* body = code.body.data();
-  uint32_t pc = 0;
+Status Instance::run(size_t base_frames, Value* result, uint8_t /*result_arity*/) {
+  ExecContext& ec = exec_;
+  std::vector<Value>& stack = ec.values;
+  std::vector<ExecContext::Label>& labels = ec.labels;
 
   auto pop = [&]() -> Value {
     Value v = stack.back();
@@ -244,8 +339,23 @@ Status Instance::invoke(uint32_t func_index, std::span<const Value> args, Value*
   };
   auto push = [&](Value v) { stack.push_back(v); };
 
-  auto do_branch = [&](uint32_t d) {
-    const LabelRt l = labels[labels.size() - 1 - d];
+reenter:
+  // (Re-)cache the top frame. Reached on entry, on wasm->wasm call, and on
+  // return to a caller; in each case the segment at `pc` is not yet charged.
+  const Code& code = *ec.frames.back().code;
+  const Instr* body = code.body.data();
+  const uint32_t body_size = static_cast<uint32_t>(code.body.size());
+  const uint32_t locals_base = ec.frames.back().locals_base;
+  Value* locals = ec.locals.data() + locals_base;
+  uint32_t pc = ec.frames.back().pc;
+
+  if (pc < body_size) {
+    Status cst = charge(code, pc);
+    if (!cst.ok()) return cst;
+  }
+
+  auto do_branch = [&](uint32_t d) -> Status {
+    const ExecContext::Label l = labels[labels.size() - 1 - d];
     const uint32_t keep = l.arity;
     for (uint32_t i = 0; i < keep; ++i) {
       stack[l.height + i] = stack[stack.size() - keep + i];
@@ -253,18 +363,14 @@ Status Instance::invoke(uint32_t func_index, std::span<const Value> args, Value*
     stack.resize(l.height + keep);
     labels.resize(labels.size() - 1 - d);
     pc = l.cont;
+    // The branch ended the charged segment; pay for the target's segment.
+    if (pc < body_size) return charge(code, pc);
+    return Status{};
   };
 
   while (pc < body_size) {
     const Instr& ins = body[pc];
     ++pc;
-    if (fuel_enabled_) {
-      if (fuel_ == 0) {
-        return Error::fuel_exhausted("plugin exceeded its fuel budget");
-      }
-      --fuel_;
-    }
-    ++instructions_retired_;
 
     switch (ins.op) {
       case Op::kUnreachable:
@@ -287,26 +393,40 @@ Status Instance::invoke(uint32_t func_index, std::span<const Value> args, Value*
           pc = (ins.imm.ctrl.else_pc != ins.imm.ctrl.end_pc) ? ins.imm.ctrl.else_pc + 1
                                                              : ins.imm.ctrl.end_pc;
         }
+        // `if` ends its fuel segment on both edges; pay for the taken side.
+        Status cst = charge(code, pc);
+        if (!cst.ok()) return cst;
         break;
       }
-      case Op::kElse:
+      case Op::kElse: {
         // Reached only by falling out of the true branch: skip to `end`.
         pc = ins.imm.ctrl.end_pc;
+        Status cst = charge(code, pc);
+        if (!cst.ok()) return cst;
         break;
+      }
       case Op::kEnd:
         labels.pop_back();
         break;
 
-      case Op::kBr:
-        do_branch(ins.imm.index);
+      case Op::kBr: {
+        Status cst = do_branch(ins.imm.index);
+        if (!cst.ok()) return cst;
         break;
-      case Op::kBrIf:
-        if (pop().as_i32() != 0) do_branch(ins.imm.index);
+      }
+      case Op::kBrIf: {
+        // Taken: segment charge happens at the target. Untaken: the
+        // fall-through at pc starts a fresh segment, charged here.
+        Status cst =
+            pop().as_i32() != 0 ? do_branch(ins.imm.index) : charge(code, pc);
+        if (!cst.ok()) return cst;
         break;
+      }
       case Op::kBrTable: {
         const BrTable& bt = code.br_tables[ins.imm.br_table_index];
         uint32_t i = pop().as_u32();
-        do_branch(i < bt.targets.size() ? bt.targets[i] : bt.default_target);
+        Status cst = do_branch(i < bt.targets.size() ? bt.targets[i] : bt.default_target);
+        if (!cst.ok()) return cst;
         break;
       }
       case Op::kReturn:
@@ -314,16 +434,26 @@ Status Instance::invoke(uint32_t func_index, std::span<const Value> args, Value*
         break;
 
       case Op::kCall: {
-        const FuncType& callee = module_->func_type(ins.imm.index);
-        size_t n = callee.params.size();
-        Value res{};
-        Status st = invoke(ins.imm.index,
-                           std::span<const Value>(stack.data() + stack.size() - n, n),
-                           &res, depth + 1);
+        const uint32_t callee = ins.imm.index;
+        if (callee < module_->num_imported_funcs) {
+          const FuncType& ct = module_->func_type(callee);
+          const size_t n = ct.params.size();
+          Value res{};
+          Status st = invoke_host(
+              callee, std::span<const Value>(stack.data() + stack.size() - n, n), &res);
+          if (!st.ok()) return st;
+          stack.resize(stack.size() - n);
+          if (!ct.results.empty()) push(res);
+          // A re-entrant host->wasm call may have grown the locals arena.
+          locals = ec.locals.data() + locals_base;
+          Status cst = charge(code, pc);  // resume segment after the call
+          if (!cst.ok()) return cst;
+          break;
+        }
+        ec.frames.back().pc = pc;
+        Status st = push_frame(callee);
         if (!st.ok()) return st;
-        stack.resize(stack.size() - n);
-        if (!callee.results.empty()) push(res);
-        break;
+        goto reenter;
       }
       case Op::kCallIndirect: {
         uint32_t elem = pop().as_u32();
@@ -333,15 +463,23 @@ Status Instance::invoke(uint32_t func_index, std::span<const Value> args, Value*
         const FuncType& expect = module_->types[ins.imm.call_indirect.type_index];
         const FuncType& actual = module_->func_type(target);
         if (!(expect == actual)) return trap_here(ins.op, "indirect call signature mismatch");
-        size_t n = expect.params.size();
-        Value res{};
-        Status st = invoke(target,
-                           std::span<const Value>(stack.data() + stack.size() - n, n),
-                           &res, depth + 1);
+        if (target < module_->num_imported_funcs) {
+          const size_t n = expect.params.size();
+          Value res{};
+          Status st = invoke_host(
+              target, std::span<const Value>(stack.data() + stack.size() - n, n), &res);
+          if (!st.ok()) return st;
+          stack.resize(stack.size() - n);
+          if (!expect.results.empty()) push(res);
+          locals = ec.locals.data() + locals_base;
+          Status cst = charge(code, pc);
+          if (!cst.ok()) return cst;
+          break;
+        }
+        ec.frames.back().pc = pc;
+        Status st = push_frame(target);
         if (!st.ok()) return st;
-        stack.resize(stack.size() - n);
-        if (!expect.results.empty()) push(res);
-        break;
+        goto reenter;
       }
 
       case Op::kDrop:
@@ -772,8 +910,27 @@ Status Instance::invoke(uint32_t func_index, std::span<const Value> args, Value*
     }
   }
 
-  if (!ft.results.empty()) *result = stack.back();
-  return {};
+  // The top frame ran off the end of its body (final `end` or `return`):
+  // move its results down to the caller's operand position and pop it.
+  {
+    const ExecContext::Frame fr = ec.frames.back();
+    const uint32_t arity = fr.result_arity;
+    for (uint32_t i = 0; i < arity; ++i) {
+      stack[fr.stack_base + i] = stack[stack.size() - arity + i];
+    }
+    stack.resize(fr.stack_base + arity);
+    labels.resize(fr.label_base);
+    ec.locals.resize(fr.locals_base);
+    ec.frames.pop_back();
+    if (ec.frames.size() == base_frames) {
+      if (arity != 0) {
+        *result = stack.back();
+        stack.pop_back();
+      }
+      return {};
+    }
+  }
+  goto reenter;
 }
 
 void Linker::register_func(std::string module, std::string name, HostFunc fn) {

@@ -1,10 +1,15 @@
 // Module instantiation and execution. An Instance owns the runtime state of
 // one loaded plugin: linear memory, globals, the indirect-call table, and
-// resolved host imports. Execution is a validated-bytecode interpreter with
-// optional fuel metering (the mechanism WA-RAN uses to bound plugin
-// execution time against the 5G slot deadline).
+// resolved host imports. Execution is an explicit-frame validated-bytecode
+// interpreter: wasm->wasm calls push interpreter frames onto a reusable
+// ExecContext instead of recursing natively, so call depth is bounded
+// exactly and cheaply, and a warm repeated call performs zero heap
+// allocations. Fuel metering (the mechanism WA-RAN uses to bound plugin
+// execution time against the 5G slot deadline) is charged per straight-line
+// segment rather than per instruction — see doc/interpreter.md.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -22,8 +27,39 @@ namespace waran::wasm {
 struct InstanceOptions {
   /// Opaque pointer surfaced to host functions via HostContext::user_data.
   void* user_data = nullptr;
-  /// Maximum interpreter call depth (wasm->wasm recursion).
+  /// Maximum interpreter call depth (wasm->wasm recursion). Frames are
+  /// interpreter state, not native stack, so this can be raised into the
+  /// tens of thousands without risking the host stack.
   uint32_t max_call_depth = 256;
+};
+
+/// Per-call execution policy, threaded from the embedder (PluginManager,
+/// RIC, scheduler) down to the interpreter.
+struct CallOptions {
+  /// Fuel budget for this call only: nullopt inherits the instance-level
+  /// set_fuel()/disable_fuel() state, a positive value arms metering with
+  /// exactly that budget (and restores the prior state afterwards), and 0
+  /// runs the call unmetered.
+  std::optional<uint64_t> fuel;
+  /// Wall-clock budget for this call; checked at fuel-charge points (every
+  /// control transfer), trapping with kFuelExhausted when exceeded so the
+  /// embedder's overrun accounting treats it like a fuel deadline.
+  std::optional<std::chrono::nanoseconds> deadline;
+};
+
+/// Per-call observability, filled by Instance::call for the embedder to
+/// feed into its per-plugin cost accounting (common/stats::CallCostAcc).
+struct CallStats {
+  /// Fuel consumed by this call (== instructions retired when the call was
+  /// unmetered; == the full budget when the call exhausted it).
+  uint64_t fuel_used = 0;
+  /// Instructions retired by this call (including nested wasm->wasm and
+  /// re-entrant host->wasm work).
+  uint64_t instrs_retired = 0;
+  /// Wall-clock duration of the call.
+  uint64_t wall_ns = 0;
+  /// Deepest interpreter call-frame depth reached during the call.
+  uint32_t peak_stack_depth = 0;
 };
 
 class Instance {
@@ -38,18 +74,26 @@ class Instance {
 
   // -- Calls ---------------------------------------------------------------
 
-  /// Calls an exported function by name with type-checked arguments.
+  /// Calls an exported function by name with type-checked arguments under
+  /// the given per-call policy; fills `stats` (if non-null) with the call's
+  /// cost. Performs no heap allocation once the instance is warm.
   Result<std::optional<TypedValue>> call(std::string_view export_name,
-                                         std::span<const TypedValue> args);
+                                         std::span<const TypedValue> args,
+                                         const CallOptions& options,
+                                         CallStats* stats = nullptr);
 
-  /// Calls by function index with untyped values (caller guarantees types).
-  Result<std::optional<Value>> call_index(uint32_t func_index,
-                                          std::span<const Value> args);
+  /// Convenience overload: default policy (inherits instance-level fuel).
+  Result<std::optional<TypedValue>> call(std::string_view export_name,
+                                         std::span<const TypedValue> args) {
+    return call(export_name, args, CallOptions{}, nullptr);
+  }
 
   // -- Fuel ----------------------------------------------------------------
 
-  /// Arms fuel metering: each retired instruction consumes one unit; when it
-  /// hits zero the current call traps with kFuelExhausted.
+  /// Arms instance-level fuel metering: each retired instruction consumes
+  /// one unit; when the budget cannot cover the next straight-line segment
+  /// the current call traps with kFuelExhausted. CallOptions::fuel
+  /// overrides this per call; this state persists across calls.
   void set_fuel(uint64_t fuel) {
     fuel_ = fuel;
     fuel_enabled_ = true;
@@ -75,11 +119,43 @@ class Instance {
  private:
   Instance() = default;
 
-  friend class Interp;
+  /// Reusable interpreter state: one value stack, one label stack, one
+  /// explicit call-frame stack and one locals arena shared by every call on
+  /// this instance (including re-entrant host->wasm calls, which nest on
+  /// the same stacks). All vectors keep their capacity between calls, so a
+  /// warm call allocates nothing.
+  struct ExecContext {
+    struct Label {
+      uint32_t cont;    // pc to jump to when branching to this label
+      uint32_t height;  // value-stack height to unwind to
+      uint8_t arity;    // values carried across the branch
+    };
+    struct Frame {
+      const Code* code;     // callee body (never a host function)
+      uint32_t pc;          // resume point (next instruction to execute)
+      uint32_t func_index;  // for signature lookups
+      uint32_t locals_base; // offset of this frame's locals in the arena
+      uint32_t stack_base;  // value-stack height at entry (args consumed)
+      uint32_t label_base;  // label-stack height at entry
+      uint8_t result_arity;
+    };
+    std::vector<Value> values;
+    std::vector<Label> labels;
+    std::vector<Frame> frames;
+    std::vector<Value> locals;   // arena: frame locals live at [locals_base, ...)
+    uint32_t peak_frames = 0;    // high-water mark for the current call
+  };
 
-  Status invoke(uint32_t func_index, std::span<const Value> args, Value* result,
-                uint32_t depth);
+  /// Runs `func_index` with `args`, iterating frames until the call that
+  /// pushed `base_frames` returns. Never recurses for wasm->wasm calls;
+  /// host functions may re-enter via Instance::call, nesting on exec_.
+  Status invoke(uint32_t func_index, std::span<const Value> args, Value* result);
+  Status run(size_t base_frames, Value* result, uint8_t result_arity);
+  Status push_frame(uint32_t func_index);
   Status invoke_host(uint32_t import_index, std::span<const Value> args, Value* result);
+  /// Charges fuel and retires instructions for the straight-line segment
+  /// starting at `pc` (no-op at function exit), and polls the deadline.
+  Status charge(const Code& code, uint32_t pc);
 
   std::shared_ptr<const Module> module_;
   std::optional<Memory> memory_;
@@ -88,12 +164,17 @@ class Instance {
   // Resolved host imports, copied by value: the Linker used at
   // instantiation time need not outlive the instance.
   std::vector<HostFunc> host_funcs_;
+  ExecContext exec_;
   void* user_data_ = nullptr;
   uint32_t max_call_depth_ = 256;
 
   bool fuel_enabled_ = false;
   uint64_t fuel_ = 0;
   uint64_t instructions_retired_ = 0;
+
+  bool deadline_armed_ = false;
+  std::chrono::steady_clock::time_point deadline_;
+  uint32_t charge_ticks_ = 0;
 
   static constexpr uint32_t kNullFuncRef = UINT32_MAX;
 };
