@@ -1,0 +1,221 @@
+// Ablation — observability overhead: what does waran::obs cost on the
+// metered dispatch path? The contract (src/obs/trace.h) is that disabled
+// tracing adds one relaxed load + branch per span site: no clock reads, no
+// ring writes, no heap allocations. That is asserted here structurally —
+// real operator-new counts via heap_probe plus the ring's write counter —
+// so a regression aborts the bench instead of hiding in timing noise. The
+// timed arms then report the enabled-mode cost (clock reads + 56-byte ring
+// stores per span) and the raw instrument costs.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+
+#include "common/tracked_alloc.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "wasm/wasm.h"
+#include "wcc/compiler.h"
+
+// Route this binary's heap traffic through the common/tracked_alloc probe
+// (same pattern as abl_engine) so the zero-allocation assertion counts
+// actual operator-new calls. GCC flags the malloc-backed operator delete
+// as a new/free mismatch; the pairing is consistent, so silence it.
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+void* operator new(std::size_t n) {
+  waran::heap_probe::note_alloc(n);
+  void* p = std::malloc(n);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t n) {
+  waran::heap_probe::note_alloc(n);
+  void* p = std::malloc(n);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void operator delete(void* p) noexcept {
+  waran::heap_probe::note_free();
+  std::free(p);
+}
+void operator delete(void* p, std::size_t) noexcept {
+  waran::heap_probe::note_free();
+  std::free(p);
+}
+void operator delete[](void* p) noexcept {
+  waran::heap_probe::note_free();
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t) noexcept {
+  waran::heap_probe::note_free();
+  std::free(p);
+}
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+namespace {
+
+using namespace waran;
+using wasm::TypedValue;
+
+std::unique_ptr<wasm::Instance> instantiate_w(const char* src,
+                                              const wasm::Linker& linker = {}) {
+  auto bytes = wcc::compile(src);
+  if (!bytes.ok()) std::abort();
+  auto module = wasm::decode_module(*bytes);
+  if (!module.ok()) std::abort();
+  if (!wasm::validate_module(*module).ok()) std::abort();
+  auto inst = wasm::Instance::instantiate(
+      std::make_shared<wasm::Module>(std::move(*module)), linker);
+  if (!inst.ok()) std::abort();
+  return std::move(*inst);
+}
+
+// A scheduler-shaped workload: a compute loop plus ABI host calls, so both
+// instrumented crossings (Instance::call span, host trampoline spans) sit
+// on the measured path.
+constexpr const char* kWorkload = R"(
+  export fn work(n: i32) -> i32 {
+    var acc: i32 = 0;
+    var i: i32 = 0;
+    while (i < n) {
+      if (i % 3 == 0) { acc = acc + i * 7; } else { acc = acc - i / 3; }
+      store32((i % 64) * 4, acc);
+      i = i + 1;
+    }
+    output_write(0, 64);
+    return acc;
+  }
+)";
+
+wasm::Linker abi_stub_linker() {
+  // Just enough of the plugin ABI for the workload: a no-op output_write,
+  // so the host-trampoline span site is on the path without dragging the
+  // full PluginManager in.
+  wasm::Linker linker;
+  linker.register_func(
+      "waran", "output_write",
+      wasm::HostFunc{wasm::FuncType{{wasm::ValType::kI32, wasm::ValType::kI32}, {}},
+                     [](wasm::HostContext&, std::span<const wasm::Value>)
+                         -> Result<std::optional<wasm::Value>> {
+                       return std::optional<wasm::Value>{};
+                     }});
+  return linker;
+}
+
+void BM_TracedDispatch(benchmark::State& state) {
+  auto inst = instantiate_w(kWorkload, abi_stub_linker());
+  const bool traced = state.range(1) != 0;
+  wasm::CallOptions opts;
+  opts.fuel = uint64_t{1} << 40;
+  wasm::CallStats stats;
+  std::vector<TypedValue> args =
+      {TypedValue::i32(static_cast<int32_t>(state.range(0)))};
+
+  obs::TraceRing& ring = obs::TraceRing::instance();
+  if (traced) {
+    ring.enable(1 << 14);
+  } else {
+    ring.disable();
+  }
+
+  // Warm up, then assert the disabled-mode contract: across 64 warm calls
+  // the obs layer must make ZERO heap allocations and ZERO ring writes.
+  for (int i = 0; i < 4; ++i) {
+    if (!inst->call("work", args, opts, &stats).ok()) std::abort();
+  }
+  const uint64_t allocs_before = heap_probe::allocations();
+  const uint64_t writes_before = ring.writes();
+  for (int i = 0; i < 64; ++i) {
+    if (!inst->call("work", args, opts, &stats).ok()) std::abort();
+  }
+  const uint64_t warm_allocs = heap_probe::allocations() - allocs_before;
+  const uint64_t warm_writes = ring.writes() - writes_before;
+  if (warm_allocs != 0) {
+    std::fprintf(stderr,
+                 "zero-alloc guarantee broken: %llu heap allocations across "
+                 "64 warm calls (traced=%d)\n",
+                 static_cast<unsigned long long>(warm_allocs), traced ? 1 : 0);
+    std::abort();
+  }
+  if (!traced && warm_writes != 0) {
+    std::fprintf(stderr,
+                 "disabled tracing wrote %llu ring events across 64 warm "
+                 "calls — the off path must be inert\n",
+                 static_cast<unsigned long long>(warm_writes));
+    std::abort();
+  }
+  if (traced && warm_writes == 0) {
+    std::fprintf(stderr, "enabled tracing recorded nothing — spans are dead\n");
+    std::abort();
+  }
+
+  for (auto _ : state) {
+    auto r = inst->call("work", args, opts, &stats);
+    benchmark::DoNotOptimize(r);
+  }
+  ring.disable();
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(stats.instrs_retired));
+  state.counters["warm_heap_allocs"] = static_cast<double>(warm_allocs);
+  state.counters["warm_ring_writes"] = static_cast<double>(warm_writes);
+}
+
+void BM_SpanDisabled(benchmark::State& state) {
+  // Floor cost of one span site with tracing off: a relaxed load + branch
+  // on construction and another on destruction.
+  obs::TraceRing::instance().disable();
+  for (auto _ : state) {
+    obs::ObsSpan span(obs::TraceCat::kOther, "bench");
+    benchmark::DoNotOptimize(&span);
+  }
+}
+
+void BM_SpanEnabled(benchmark::State& state) {
+  // Full span cost with tracing on: two clock reads + one ring store.
+  obs::TraceRing::instance().enable(1 << 14);
+  for (auto _ : state) {
+    obs::ObsSpan span(obs::TraceCat::kOther, "bench");
+    benchmark::DoNotOptimize(&span);
+  }
+  obs::TraceRing::instance().disable();
+}
+
+void BM_CounterAdd(benchmark::State& state) {
+  obs::Counter& c =
+      obs::MetricsRegistry::global().counter("waran_bench_counter_total");
+  for (auto _ : state) {
+    c.add();
+  }
+  benchmark::DoNotOptimize(c.value());
+}
+
+void BM_HistogramAdd(benchmark::State& state) {
+  obs::Histogram& h =
+      obs::MetricsRegistry::global().histogram("waran_bench_hist_ns");
+  uint64_t v = 1;
+  for (auto _ : state) {
+    h.add(v);
+    v = (v * 2862933555777941757ull + 3037000493ull) >> 8;  // vary the bucket
+  }
+  benchmark::DoNotOptimize(h.count());
+}
+
+BENCHMARK(BM_TracedDispatch)
+    ->Args({2000, 0})
+    ->Args({2000, 1})
+    ->ArgNames({"n", "traced"});
+BENCHMARK(BM_SpanDisabled);
+BENCHMARK(BM_SpanEnabled);
+BENCHMARK(BM_CounterAdd);
+BENCHMARK(BM_HistogramAdd);
+
+}  // namespace

@@ -50,6 +50,9 @@ double QuantileAcc::stddev() const {
 }
 
 void RateMeter::add(double t, uint64_t bits) {
+  // Clamp regressions forward: entries_ must stay sorted by time or evict()
+  // would drop the wrong end of the window.
+  if (!entries_.empty() && t < entries_.back().t) t = entries_.back().t;
   entries_.push_back({t, bits});
   window_bits_ += bits;
   total_bits_ += bits;
@@ -64,6 +67,10 @@ void RateMeter::evict(double t) const {
 }
 
 double RateMeter::rate_bps(double t) const {
+  if (entries_.empty()) return 0.0;
+  // A stale query (earlier than the newest arrival) would count bits that
+  // arrive "after" the window's right edge; anchor it to the newest entry.
+  if (t < entries_.back().t) t = entries_.back().t;
   evict(t);
   if (window_s_ <= 0) return 0.0;
   return static_cast<double>(window_bits_) / window_s_;

@@ -22,7 +22,9 @@ class QuantileAcc {
   size_t count() const { return samples_.size(); }
   bool empty() const { return samples_.empty(); }
 
-  /// q in [0,1]. Nearest-rank on the sorted samples. Returns 0 when empty.
+  /// q in [0,1]. Nearest-rank on the sorted samples: quantile(0.0) is the
+  /// minimum, quantile(1.0) the maximum, and out-of-range q clamps to those
+  /// endpoints. Returns 0 when empty.
   double quantile(double q) const;
   double min() const;
   double max() const;
@@ -42,13 +44,17 @@ class QuantileAcc {
 };
 
 /// Sliding-window throughput meter: record (time, bits) arrivals, query the
-/// average rate over the trailing window. Times are in seconds, monotone.
+/// average rate over the trailing window. Times are in seconds and expected
+/// monotone; a timestamp older than the newest recorded entry is clamped
+/// forward so the window never un-sorts (clock skew between reporting paths
+/// must not corrupt eviction).
 class RateMeter {
  public:
   explicit RateMeter(double window_s = 1.0) : window_s_(window_s) {}
 
   void add(double t, uint64_t bits);
-  /// Average bit/s over [t - window, t].
+  /// Average bit/s over [t - window, t]. Query times earlier than the newest
+  /// recorded entry are clamped to it; an empty window reports 0.
   double rate_bps(double t) const;
   uint64_t total_bits() const { return total_bits_; }
 

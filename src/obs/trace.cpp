@@ -1,0 +1,174 @@
+#include "obs/trace.h"
+
+#include <bit>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include "common/log.h"
+
+namespace waran::obs {
+
+namespace {
+
+std::atomic<uint64_t> g_current_slot{0};
+
+std::chrono::steady_clock::time_point trace_epoch() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return epoch;
+}
+
+void append_json_escaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+const char* to_string(TraceCat cat) {
+  switch (cat) {
+    case TraceCat::kMac: return "mac";
+    case TraceCat::kSlice: return "slice";
+    case TraceCat::kPlugin: return "plugin";
+    case TraceCat::kWasm: return "wasm";
+    case TraceCat::kHost: return "host";
+    case TraceCat::kE2: return "e2";
+    case TraceCat::kTransport: return "transport";
+    case TraceCat::kRic: return "ric";
+    case TraceCat::kAgent: return "agent";
+    case TraceCat::kLog: return "log";
+    case TraceCat::kAnomaly: return "anomaly";
+    case TraceCat::kOther: return "other";
+  }
+  return "other";
+}
+
+uint64_t now_ns() {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now() - trace_epoch())
+                                   .count());
+}
+
+void set_current_slot(uint64_t slot) {
+  g_current_slot.store(slot, std::memory_order_relaxed);
+}
+
+uint64_t current_slot() { return g_current_slot.load(std::memory_order_relaxed); }
+
+TraceRing& TraceRing::instance() {
+  static TraceRing ring;
+  return ring;
+}
+
+void TraceRing::enable(size_t capacity) {
+  if (capacity < 2) capacity = 2;
+  capacity = std::bit_ceil(capacity);
+  buf_.assign(capacity, TraceEvent{});
+  mask_ = capacity - 1;
+  head_.store(0, std::memory_order_relaxed);
+  trace_epoch();  // pin the epoch no later than the first event
+  enabled_.store(true, std::memory_order_release);
+}
+
+void TraceRing::disable() { enabled_.store(false, std::memory_order_release); }
+
+uint64_t TraceRing::dropped() const {
+  uint64_t h = head_.load(std::memory_order_relaxed);
+  return h > buf_.size() ? h - buf_.size() : 0;
+}
+
+void TraceRing::record(TraceCat cat, std::string_view name, uint64_t t_ns,
+                       uint64_t dur_ns, uint32_t arg, char phase) {
+  if (!enabled()) return;
+  const uint64_t i = head_.fetch_add(1, std::memory_order_relaxed);
+  TraceEvent& ev = buf_[i & mask_];
+  ev.t_ns = t_ns;
+  ev.dur_ns = dur_ns;
+  ev.slot = current_slot();
+  ev.arg = arg;
+  ev.cat = static_cast<uint8_t>(cat);
+  ev.phase = phase;
+  const size_t n = name.size() < sizeof(ev.name) - 1 ? name.size() : sizeof(ev.name) - 1;
+  std::memcpy(ev.name, name.data(), n);
+  ev.name[n] = '\0';
+}
+
+std::vector<TraceEvent> TraceRing::snapshot() const {
+  std::vector<TraceEvent> out;
+  if (buf_.empty()) return out;
+  const uint64_t h = head_.load(std::memory_order_relaxed);
+  const uint64_t n = h < buf_.size() ? h : buf_.size();
+  out.reserve(n);
+  for (uint64_t i = h - n; i < h; ++i) out.push_back(buf_[i & mask_]);
+  return out;
+}
+
+std::string TraceRing::export_chrome_trace() const {
+  std::vector<TraceEvent> events = snapshot();
+  std::string out;
+  out.reserve(events.size() * 120 + 64);
+  out += "{\"traceEvents\":[";
+  bool first = true;
+  char buf[192];
+  for (const TraceEvent& ev : events) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"";
+    append_json_escaped(out, ev.name);
+    out += "\",\"cat\":\"";
+    out += to_string(static_cast<TraceCat>(ev.cat));
+    // All spans land on one pid/tid: the slot loop is single-threaded, so
+    // complete events nest purely by timestamp containment in Perfetto.
+    std::snprintf(buf, sizeof(buf),
+                  "\",\"ph\":\"%c\",\"ts\":%.3f,\"pid\":1,\"tid\":1", ev.phase,
+                  static_cast<double>(ev.t_ns) / 1000.0);
+    out += buf;
+    if (ev.phase == 'X') {
+      std::snprintf(buf, sizeof(buf), ",\"dur\":%.3f",
+                    static_cast<double>(ev.dur_ns) / 1000.0);
+      out += buf;
+    }
+    if (ev.phase == 'i') out += ",\"s\":\"t\"";
+    std::snprintf(buf, sizeof(buf), ",\"args\":{\"slot\":%llu,\"arg\":%u}}",
+                  static_cast<unsigned long long>(ev.slot), ev.arg);
+    out += buf;
+  }
+  out += "]}";
+  return out;
+}
+
+namespace {
+
+void log_trace_hook(LogLevel lvl, std::string_view component, std::string_view msg) {
+  (void)lvl;
+  // The instant event name carries the component; the message itself is
+  // truncated into the name after a ':' when it fits, else dropped (the
+  // ring stores fixed-size events; stderr still has the full line).
+  char name[26];
+  std::snprintf(name, sizeof(name), "%.8s: %.14s", std::string(component).c_str(),
+                std::string(msg).c_str());
+  TraceRing::instance().instant(TraceCat::kLog, name);
+}
+
+}  // namespace
+
+void route_logs_to_trace(bool on) {
+  log_detail::set_trace_hook(on ? &log_trace_hook : nullptr);
+}
+
+}  // namespace waran::obs

@@ -1,8 +1,22 @@
 #include "plugin/manager.h"
 
 #include "common/log.h"
+#include "obs/anomaly.h"
+#include "obs/trace.h"
 
 namespace waran::plugin {
+
+void PluginManager::bind_metrics(const std::string& slot_name, Slot& slot) {
+  auto& reg = obs::MetricsRegistry::global();
+  obs::Labels labels = {{"domain", domain_}, {"slot", slot_name}};
+  slot.m_calls = &reg.counter("waran_plugin_calls_total", labels);
+  slot.m_traps = &reg.counter("waran_plugin_traps_total", labels);
+  slot.m_fuel_exhausted = &reg.counter("waran_plugin_fuel_exhausted_total", labels);
+  slot.m_declines = &reg.counter("waran_plugin_declines_total", labels);
+  slot.m_fuel_used = &reg.counter("waran_plugin_fuel_used_total", labels);
+  slot.m_instrs = &reg.counter("waran_plugin_instructions_total", labels);
+  slot.m_wall_ns = &reg.histogram("waran_plugin_wall_ns", labels);
+}
 
 Status PluginManager::install(const std::string& slot,
                               std::span<const uint8_t> module_bytes,
@@ -13,6 +27,7 @@ Status PluginManager::install(const std::string& slot,
   WARAN_TRY(p, Plugin::load(module_bytes, extra_host, default_limits_));
   Slot s;
   s.plugin = std::shared_ptr<Plugin>(std::move(p));
+  bind_metrics(slot, s);
   slots_.emplace(slot, std::move(s));
   WARAN_LOG(kInfo, "plugin", "installed slot '" << slot << "'");
   return {};
@@ -47,23 +62,48 @@ Result<std::vector<uint8_t>> PluginManager::call(const std::string& slot,
   if (s.health.quarantined) {
     return Error::state("slot '" + slot + "' is quarantined after repeated faults");
   }
+  obs::ObsSpan span(obs::TraceCat::kPlugin, slot);
   ++s.health.calls;
+  s.m_calls->add();
   auto result = s.plugin->call(fn, input);
+  // Canonical telemetry path: every sandbox crossing feeds the engine's
+  // CallStats into both the exact per-slot accumulator (CallCostAcc, for
+  // offline p50/p99) and the metrics registry (for live exposition) —
+  // including faulting calls, whose partial cost still counts.
   const wasm::CallStats& cs = s.plugin->last_call_stats();
   s.cost.add(cs.fuel_used, cs.instrs_retired, cs.wall_ns, cs.peak_stack_depth);
+  s.m_fuel_used->add(cs.fuel_used);
+  s.m_instrs->add(cs.instrs_retired);
+  s.m_wall_ns->add(cs.wall_ns);
   if (!result.ok()) {
     if (result.error().code == Error::Code::kState) {
       // Deliberate rejection: legitimate behaviour (a comm plugin refusing
       // a corrupt frame must not get itself quarantined).
       ++s.health.declines;
+      s.m_declines->add();
       s.health.last_error = result.error().message;
       return result.error();
     }
     ++s.health.faults;
     ++s.health.consecutive_faults;
     s.health.last_error = result.error().message;
+    if (result.error().code == Error::Code::kFuelExhausted) {
+      // Covers both fuel-budget and wall-clock-deadline overruns (the
+      // engine reports deadline misses as fuel exhaustion by design).
+      ++s.health.fuel_exhaustions;
+      s.m_fuel_exhausted->add();
+      obs::AnomalyJournal::global().record(obs::AnomalyKind::kFuelExhausted,
+                                           domain_, slot, result.error().message);
+    } else {
+      ++s.health.traps;
+      s.m_traps->add();
+      obs::AnomalyJournal::global().record(obs::AnomalyKind::kTrap, domain_, slot,
+                                           result.error().message);
+    }
     if (s.health.consecutive_faults >= s.plugin->limits().quarantine_after_faults) {
       s.health.quarantined = true;
+      obs::AnomalyJournal::global().record(obs::AnomalyKind::kQuarantine, domain_,
+                                           slot, s.health.last_error);
       WARAN_LOG(kWarn, "plugin",
                 "slot '" << slot << "' quarantined after "
                          << s.health.consecutive_faults

@@ -22,6 +22,7 @@
 
 #include "common/result.h"
 #include "common/stats.h"
+#include "obs/metrics.h"
 #include "plugin/plugin.h"
 
 namespace waran::plugin {
@@ -29,6 +30,8 @@ namespace waran::plugin {
 struct SlotHealth {
   uint64_t calls = 0;
   uint64_t faults = 0;            // sandbox faults: traps, fuel, limits
+  uint64_t traps = 0;             //   .. of which wasm traps (OOB, unreachable, ...)
+  uint64_t fuel_exhaustions = 0;  //   .. of which fuel/deadline exhaustion
   uint64_t declines = 0;          // plugin-declared rejections (no quarantine)
   uint32_t consecutive_faults = 0;
   uint64_t swaps = 0;
@@ -40,6 +43,13 @@ class PluginManager {
  public:
   explicit PluginManager(PluginLimits default_limits = {})
       : default_limits_(default_limits) {}
+
+  /// Observability domain this manager reports under ("mac", "gnb0",
+  /// "ric"): the `domain` label on every per-slot metric and the journal
+  /// domain for anomalies. Set before installing plugins; slots installed
+  /// earlier keep the handles they resolved at install time.
+  void set_domain(std::string domain) { domain_ = std::move(domain); }
+  const std::string& domain() const { return domain_; }
 
   /// Installs a new plugin into `slot` (slot must not exist yet).
   Status install(const std::string& slot, std::span<const uint8_t> module_bytes,
@@ -82,9 +92,21 @@ class PluginManager {
     std::shared_ptr<Plugin> plugin;
     SlotHealth health;
     CallCostAcc cost;
+    // Registry handles, resolved once at install so the per-call feed is a
+    // few relaxed atomic adds (the canonical CallStats -> telemetry path).
+    obs::Counter* m_calls = nullptr;
+    obs::Counter* m_traps = nullptr;
+    obs::Counter* m_fuel_exhausted = nullptr;
+    obs::Counter* m_declines = nullptr;
+    obs::Counter* m_fuel_used = nullptr;
+    obs::Counter* m_instrs = nullptr;
+    obs::Histogram* m_wall_ns = nullptr;
   };
 
+  void bind_metrics(const std::string& slot_name, Slot& slot);
+
   PluginLimits default_limits_;
+  std::string domain_ = "plugin";
   std::map<std::string, Slot> slots_;
 };
 

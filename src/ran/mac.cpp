@@ -4,11 +4,18 @@
 #include <cassert>
 
 #include "common/log.h"
+#include "obs/anomaly.h"
+#include "obs/trace.h"
 #include "ran/phy_tables.h"
 
 namespace waran::ran {
 
-GnbMac::GnbMac(MacConfig config) : config_(config), error_rng_(config.error_seed) {}
+GnbMac::GnbMac(MacConfig config) : config_(config), error_rng_(config.error_seed) {
+  auto& reg = obs::MetricsRegistry::global();
+  m_slots_ = &reg.counter("waran_mac_slots_total");
+  m_slot_overruns_ = &reg.counter("waran_mac_slot_overrun_total");
+  m_slot_wall_ns_ = &reg.histogram("waran_mac_slot_wall_ns");
+}
 
 void GnbMac::add_slice(const SliceConfig& config,
                        std::unique_ptr<IntraSliceScheduler> scheduler) {
@@ -16,6 +23,13 @@ void GnbMac::add_slice(const SliceConfig& config,
   SliceState state;
   state.config = config;
   state.scheduler = std::move(scheduler);
+  auto& reg = obs::MetricsRegistry::global();
+  std::string id = std::to_string(config.slice_id);
+  obs::Labels labels = {{"slice", id}};
+  state.m_prb_granted = &reg.counter("waran_mac_prb_granted_total", labels);
+  state.m_sched_faults = &reg.counter("waran_mac_sched_faults_total", labels);
+  state.m_sanitized = &reg.counter("waran_mac_sanitized_allocs_total", labels);
+  state.m_slots_scheduled = &reg.counter("waran_mac_slots_scheduled_total", labels);
   slices_.emplace(config.slice_id, std::move(state));
 }
 
@@ -101,12 +115,14 @@ void GnbMac::apply_response(SliceState& slice, const codec::SchedRequest& req,
       // Plugin referenced a UE it does not own / that asked for nothing:
       // sanitize by dropping the grant (§6A).
       ++slice.stats.sanitized_allocs;
+      slice.m_sanitized->add();
       continue;
     }
     uint32_t prbs = alloc.prbs;
     if (prbs > remaining) {
       // Over-allocation: clamp rather than fault.
       ++slice.stats.sanitized_allocs;
+      slice.m_sanitized->add();
       prbs = remaining;
     }
     remaining -= prbs;
@@ -146,10 +162,17 @@ void GnbMac::apply_response(SliceState& slice, const codec::SchedRequest& req,
       delivered[alloc.rnti].fresh_bits += deliverable;
     }
   }
+  slice.m_prb_granted->add(req.prb_quota - remaining);
 }
 
 Status GnbMac::run_slot() {
   if (inter_ == nullptr) return Error::state("no inter-slice scheduler configured");
+  // Slot alignment for every span/anomaly recorded below this frame, and
+  // the outermost span of the slot trace hierarchy.
+  obs::set_current_slot(slot_);
+  obs::ObsSpan slot_span(obs::TraceCat::kMac, "slot",
+                         static_cast<uint32_t>(slot_));
+  const uint64_t slot_t0 = obs::now_ns();
 
   // Phase 1: arrivals + channel.
   for (auto& [rnti, ue] : ues_) ue->begin_slot(config_.slot_us);
@@ -176,7 +199,11 @@ Status GnbMac::run_slot() {
     demands.push_back(d);
     order.push_back(&slice);
   }
-  std::vector<uint32_t> quotas = inter_->allocate(config_.n_prbs, demands);
+  std::vector<uint32_t> quotas;
+  {
+    obs::ObsSpan inter_span(obs::TraceCat::kMac, "inter_slice");
+    quotas = inter_->allocate(config_.n_prbs, demands);
+  }
   if (quotas.size() != order.size()) {
     return Error::internal("inter-slice scheduler returned wrong quota count");
   }
@@ -190,7 +217,12 @@ Status GnbMac::run_slot() {
     codec::SchedRequest req = build_request(slice, quotas[i]);
     if (req.ues.empty()) continue;
     ++slice.stats.slots_scheduled;
+    slice.m_slots_scheduled->add();
 
+    obs::ObsSpan slice_span(
+        obs::TraceCat::kSlice,
+        slice.config.name.empty() ? std::string_view("slice") : slice.config.name,
+        slice.config.slice_id);
     codec::SchedResponse resp;
     auto result = slice.scheduler->schedule(req);
     if (result.ok()) {
@@ -198,6 +230,7 @@ Status GnbMac::run_slot() {
     } else {
       // Contained fault: host-side default scheduler takes this slot (§6A).
       ++slice.stats.scheduler_faults;
+      slice.m_sched_faults->add();
       slice.stats.last_error = result.error().message;
       WARAN_LOG(kDebug, "mac",
                 "slice " << slice.config.slice_id
@@ -218,6 +251,20 @@ Status GnbMac::run_slot() {
       ue->complete_slot(it->second.fresh_bits, it->second.harq_bits, deliver_time,
                         slots_per_s);
     }
+  }
+
+  // Slot-deadline accounting: in a real-time deployment the slot budget is
+  // config_.slot_us of wall time; an overrun is the anomaly the paper's
+  // fuel/deadline machinery exists to prevent.
+  const uint64_t slot_wall_ns = obs::now_ns() - slot_t0;
+  m_slots_->add();
+  m_slot_wall_ns_->add(slot_wall_ns);
+  if (slot_wall_ns > static_cast<uint64_t>(config_.slot_us) * 1000) {
+    m_slot_overruns_->add();
+    obs::AnomalyJournal::global().record(
+        obs::AnomalyKind::kSlotOverrun, "mac", "slot",
+        "slot processing took " + std::to_string(slot_wall_ns) + " ns (budget " +
+            std::to_string(static_cast<uint64_t>(config_.slot_us) * 1000) + " ns)");
   }
 
   ++slot_;

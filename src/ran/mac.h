@@ -21,6 +21,7 @@
 
 #include "common/result.h"
 #include "common/rng.h"
+#include "obs/metrics.h"
 #include "ran/phy_tables.h"
 #include "ran/scheduler_iface.h"
 #include "ran/ue.h"
@@ -112,6 +113,11 @@ class GnbMac {
     SliceConfig config;
     std::unique_ptr<IntraSliceScheduler> scheduler;
     SliceStats stats;
+    // Registry handles, bound at add_slice (label: slice id).
+    obs::Counter* m_prb_granted = nullptr;
+    obs::Counter* m_sched_faults = nullptr;
+    obs::Counter* m_sanitized = nullptr;
+    obs::Counter* m_slots_scheduled = nullptr;
   };
 
   codec::SchedRequest build_request(const SliceState& slice, uint32_t quota) const;
@@ -127,6 +133,11 @@ class GnbMac {
 
   MacConfig config_;
   uint64_t slot_ = 0;
+  // Registry handles for slot-level accounting (bound in the constructor;
+  // cells share the unlabeled aggregates).
+  obs::Counter* m_slots_ = nullptr;
+  obs::Counter* m_slot_overruns_ = nullptr;
+  obs::Histogram* m_slot_wall_ns_ = nullptr;
   uint32_t next_rnti_ = 0x4601;  // srsRAN's first C-RNTI
   std::map<uint32_t, SliceState> slices_;
   std::map<uint32_t, std::unique_ptr<UeContext>> ues_;

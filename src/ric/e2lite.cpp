@@ -1,10 +1,38 @@
 #include "ric/e2lite.h"
 
 #include "common/bytes.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace waran::ric {
 
+namespace {
+
+// E2 serialization accounting: message and byte counters per direction.
+// Handles resolve once (thread-safe static init); adds are relaxed atomics.
+struct E2Metrics {
+  obs::Counter& enc_msgs = obs::MetricsRegistry::global().counter(
+      "waran_e2_encoded_messages_total");
+  obs::Counter& enc_bytes =
+      obs::MetricsRegistry::global().counter("waran_e2_encoded_bytes_total");
+  obs::Counter& dec_msgs = obs::MetricsRegistry::global().counter(
+      "waran_e2_decoded_messages_total");
+  obs::Counter& dec_bytes =
+      obs::MetricsRegistry::global().counter("waran_e2_decoded_bytes_total");
+  obs::Counter& dec_errors =
+      obs::MetricsRegistry::global().counter("waran_e2_decode_errors_total");
+  static E2Metrics& get() {
+    static E2Metrics m;
+    return m;
+  }
+};
+
+}  // namespace
+
 std::vector<uint8_t> encode_indication(const IndicationReport& report) {
+  obs::ObsSpan span(obs::TraceCat::kE2, "encode_indication",
+                    static_cast<uint32_t>(report.ues.size()));
+  E2Metrics::get().enc_msgs.add();
   ByteWriter w;
   w.u32le(kMsgIndication);
   w.u32le(static_cast<uint32_t>(report.slices.size()));
@@ -23,13 +51,22 @@ std::vector<uint8_t> encode_indication(const IndicationReport& report) {
     w.u32le(u.cqi);
     w.u32le(u.neighbor_cell);
   }
-  return w.take();
+  std::vector<uint8_t> out = w.take();
+  E2Metrics::get().enc_bytes.add(out.size());
+  return out;
 }
 
 Result<IndicationReport> decode_indication(std::span<const uint8_t> bytes) {
+  obs::ObsSpan span(obs::TraceCat::kE2, "decode_indication",
+                    static_cast<uint32_t>(bytes.size()));
+  E2Metrics::get().dec_msgs.add();
+  E2Metrics::get().dec_bytes.add(bytes.size());
   ByteReader r(bytes);
   WARAN_TRY(type, r.u32le());
-  if (type != kMsgIndication) return Error::decode("not an indication message");
+  if (type != kMsgIndication) {
+    E2Metrics::get().dec_errors.add();
+    return Error::decode("not an indication message");
+  }
   IndicationReport report;
   WARAN_TRY(n_slices, r.u32le());
   if (static_cast<uint64_t>(n_slices) * 24 > r.remaining()) {
@@ -74,6 +111,9 @@ Result<IndicationReport> decode_indication(std::span<const uint8_t> bytes) {
 }
 
 std::vector<uint8_t> encode_control(const std::vector<ControlAction>& actions) {
+  obs::ObsSpan span(obs::TraceCat::kE2, "encode_control",
+                    static_cast<uint32_t>(actions.size()));
+  E2Metrics::get().enc_msgs.add();
   ByteWriter w;
   w.u32le(kMsgControl);
   w.u32le(static_cast<uint32_t>(actions.size()));
@@ -82,13 +122,22 @@ std::vector<uint8_t> encode_control(const std::vector<ControlAction>& actions) {
     w.u32le(a.a);
     w.u32le(a.b);
   }
-  return w.take();
+  std::vector<uint8_t> out = w.take();
+  E2Metrics::get().enc_bytes.add(out.size());
+  return out;
 }
 
 Result<std::vector<ControlAction>> decode_control(std::span<const uint8_t> bytes) {
+  obs::ObsSpan span(obs::TraceCat::kE2, "decode_control",
+                    static_cast<uint32_t>(bytes.size()));
+  E2Metrics::get().dec_msgs.add();
+  E2Metrics::get().dec_bytes.add(bytes.size());
   ByteReader r(bytes);
   WARAN_TRY(type, r.u32le());
-  if (type != kMsgControl) return Error::decode("not a control message");
+  if (type != kMsgControl) {
+    E2Metrics::get().dec_errors.add();
+    return Error::decode("not a control message");
+  }
   WARAN_TRY(n, r.u32le());
   if (static_cast<uint64_t>(n) * 12 > r.remaining()) {
     return Error::decode("control: action count exceeds payload");

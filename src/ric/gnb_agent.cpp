@@ -1,6 +1,7 @@
 #include "ric/gnb_agent.h"
 
 #include "common/log.h"
+#include "obs/trace.h"
 
 namespace waran::ric {
 
@@ -12,7 +13,9 @@ using wasm::Value;
 
 GnbAgent::GnbAgent(uint32_t cell_id, ran::GnbMac& mac, QuotaTableInterScheduler* quotas,
                    Duplex& link, Duplex::Side side)
-    : cell_id_(cell_id), mac_(mac), quotas_(quotas), link_(link), side_(side) {}
+    : cell_id_(cell_id), mac_(mac), quotas_(quotas), link_(link), side_(side) {
+  plugins_.set_domain("gnb" + std::to_string(cell_id));
+}
 
 Status GnbAgent::load_comm_plugin(std::span<const uint8_t> module_bytes) {
   if (plugins_.has("comm")) return plugins_.swap("comm", module_bytes);
@@ -85,6 +88,7 @@ Status GnbAgent::load_control_plugin(std::span<const uint8_t> module_bytes) {
 
 Status GnbAgent::send_indication() {
   if (!plugins_.has("comm")) return Error::state("no communication plugin loaded");
+  obs::ObsSpan span(obs::TraceCat::kAgent, "send_indication");
 
   IndicationReport report;
   for (uint32_t slice_id : mac_.slice_ids()) {
@@ -123,6 +127,8 @@ Status GnbAgent::send_indication() {
 
 Status GnbAgent::poll() {
   while (auto frame = link_.receive(side_)) {
+    obs::ObsSpan span(obs::TraceCat::kAgent, "handle_frame",
+                      static_cast<uint32_t>(frame->size()));
     ++stats_.frames_received;
     auto payload = plugins_.call("comm", "unframe", *frame);
     account_plugin("comm");
@@ -130,6 +136,9 @@ Status GnbAgent::poll() {
       // The sandbox rejected the frame (bad magic/length/checksum): drop it
       // before any host-side parsing touches it.
       ++stats_.frames_rejected;
+      obs::AnomalyJournal::global().record(obs::AnomalyKind::kFrameRejected,
+                                           plugins_.domain(), "comm",
+                                           payload.error().message);
       continue;
     }
     auto type = peek_msg_type(*payload);

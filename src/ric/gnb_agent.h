@@ -13,6 +13,7 @@
 #include <map>
 #include <span>
 
+#include "obs/anomaly.h"
 #include "plugin/manager.h"
 #include "ran/mac.h"
 #include "ric/e2lite.h"
@@ -84,6 +85,13 @@ class GnbAgent {
   /// Slots between indications (RIC-configurable via the v2 control plugin
   /// and the set_report_period action; default 100 = 100 ms).
   uint32_t report_period_slots() const { return report_period_slots_; }
+
+  /// Trap/anomaly journal entries recorded under this agent's observability
+  /// domain ("gnb<cell_id>"): comm/ctl plugin traps, fuel exhaustion,
+  /// quarantines and rejected frames, with slot context.
+  std::vector<obs::AnomalyRecord> anomalies() const {
+    return obs::AnomalyJournal::global().snapshot(plugins_.domain());
+  }
 
  private:
   wasm::Linker control_host_functions();

@@ -1,8 +1,29 @@
 #include "ric/near_rt_ric.h"
 
 #include "common/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace waran::ric {
+
+namespace {
+
+struct RicMetrics {
+  obs::Counter& indications = obs::MetricsRegistry::global().counter(
+      "waran_ric_indications_total");
+  obs::Counter& actions =
+      obs::MetricsRegistry::global().counter("waran_ric_actions_sent_total");
+  obs::Counter& frames_rejected = obs::MetricsRegistry::global().counter(
+      "waran_ric_frames_rejected_total");
+  obs::Counter& garbage_outputs = obs::MetricsRegistry::global().counter(
+      "waran_ric_xapp_garbage_outputs_total");
+  static RicMetrics& get() {
+    static RicMetrics m;
+    return m;
+  }
+};
+
+}  // namespace
 
 using wasm::FuncType;
 using wasm::HostContext;
@@ -56,7 +77,10 @@ void NearRtRic::account_xapp(const std::string& slot) {
 }
 
 Status NearRtRic::dispatch_indication(std::span<const uint8_t> payload, LinkRef& origin) {
+  obs::ObsSpan span(obs::TraceCat::kRic, "dispatch_indication",
+                    static_cast<uint32_t>(payload.size()));
   ++stats_.indications_processed;
+  RicMetrics::get().indications.add();
   std::vector<ControlAction> aggregated;
   for (const std::string& slot : xapps_) {
     auto out = plugins_.call(slot, "on_indication", payload);
@@ -71,6 +95,10 @@ Status NearRtRic::dispatch_indication(std::span<const uint8_t> payload, LinkRef&
     if (!actions.ok()) {
       // xApp emitted garbage: sanitize by dropping its contribution.
       ++stats_.xapp_faults;
+      RicMetrics::get().garbage_outputs.add();
+      obs::AnomalyJournal::global().record(obs::AnomalyKind::kSanitized,
+                                           plugins_.domain(), slot,
+                                           actions.error().message);
       continue;
     }
     aggregated.insert(aggregated.end(), actions->begin(), actions->end());
@@ -83,6 +111,7 @@ Status NearRtRic::dispatch_indication(std::span<const uint8_t> payload, LinkRef&
     origin.link->send(origin.side, std::move(frame));
     ++stats_.control_frames_sent;
     stats_.actions_sent += aggregated.size();
+    RicMetrics::get().actions.add(aggregated.size());
   }
   last_actions_ = std::move(aggregated);
   return {};
@@ -120,11 +149,16 @@ Status NearRtRic::poll() {
       auto payload = plugins_.call("comm", "unframe", *frame);
       if (!payload.ok()) {
         ++stats_.frames_rejected;
+        RicMetrics::get().frames_rejected.add();
+        obs::AnomalyJournal::global().record(obs::AnomalyKind::kFrameRejected,
+                                             plugins_.domain(), "comm",
+                                             payload.error().message);
         continue;
       }
       auto type = peek_msg_type(*payload);
       if (!type.ok()) {
         ++stats_.frames_rejected;
+        RicMetrics::get().frames_rejected.add();
         continue;
       }
       if (*type == kMsgIndication) {

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/anomaly.h"
 #include "plugin/manager.h"
 #include "ric/e2lite.h"
 #include "ric/transport.h"
@@ -40,7 +41,10 @@ class NearRtRic {
   /// A RIC serves one or more E2 nodes (gNBs); the constructor wires the
   /// first link, add_link attaches more. Control actions always return on
   /// the link whose indication produced them.
-  NearRtRic(Duplex& link, Duplex::Side side) { add_link(link, side); }
+  NearRtRic(Duplex& link, Duplex::Side side) {
+    plugins_.set_domain("ric");
+    add_link(link, side);
+  }
 
   void add_link(Duplex& link, Duplex::Side side) { links_.push_back({&link, side}); }
   size_t link_count() const { return links_.size(); }
@@ -67,6 +71,13 @@ class NearRtRic {
 
   /// Last batch of actions shipped (for tests/benches).
   const std::vector<ControlAction>& last_actions() const { return last_actions_; }
+
+  /// Trap/anomaly journal entries recorded under this RIC's observability
+  /// domain: every xApp trap, fuel/deadline exhaustion and quarantine, with
+  /// the xApp slot name and the MAC slot that was executing.
+  std::vector<obs::AnomalyRecord> anomalies() const {
+    return obs::AnomalyJournal::global().snapshot(plugins_.domain());
+  }
 
  private:
   struct LinkRef {

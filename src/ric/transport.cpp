@@ -1,13 +1,38 @@
 #include "ric/transport.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace waran::ric {
 
+namespace {
+
+struct TransportMetrics {
+  obs::Counter& frames =
+      obs::MetricsRegistry::global().counter("waran_transport_frames_total");
+  obs::Counter& bytes =
+      obs::MetricsRegistry::global().counter("waran_transport_bytes_total");
+  obs::Counter& drops =
+      obs::MetricsRegistry::global().counter("waran_transport_drops_total");
+  static TransportMetrics& get() {
+    static TransportMetrics m;
+    return m;
+  }
+};
+
+}  // namespace
+
 void Duplex::send(Side from, std::vector<uint8_t> frame) {
+  obs::ObsSpan span(obs::TraceCat::kTransport, "send",
+                    static_cast<uint32_t>(frame.size()));
   ++frames_sent_;
+  TransportMetrics::get().frames.add();
+  TransportMetrics::get().bytes.add(frame.size());
   bool drop = false;
   if (tap_) tap_(frame, drop);
   if (drop) {
     ++frames_dropped_;
+    TransportMetrics::get().drops.add();
     return;
   }
   if (from == Side::kA) {

@@ -5,6 +5,8 @@
 #include <cstring>
 #include <limits>
 
+#include "obs/trace.h"
+
 namespace waran::wasm {
 namespace {
 
@@ -97,6 +99,7 @@ Result<std::unique_ptr<Instance>> Instance::instantiate(
                                    to_string(hf->type));
         }
         inst->host_funcs_.push_back(*hf);
+        inst->host_func_names_.push_back(imp.module + "." + imp.name);
         break;
       }
       default:
@@ -164,6 +167,7 @@ Result<std::optional<TypedValue>> Instance::call(std::string_view export_name,
                                                  std::span<const TypedValue> args,
                                                  const CallOptions& options,
                                                  CallStats* stats) {
+  obs::ObsSpan span(obs::TraceCat::kWasm, export_name);
   auto idx = find_export(export_name, ImportKind::kFunc);
   if (!idx) return Error::not_found("no exported function named " + std::string(export_name));
   const FuncType& ft = module_->func_type(*idx);
@@ -238,6 +242,7 @@ Result<std::optional<TypedValue>> Instance::call(std::string_view export_name,
 
 Status Instance::invoke_host(uint32_t import_index, std::span<const Value> args,
                              Value* result) {
+  obs::ObsSpan span(obs::TraceCat::kHost, host_func_names_[import_index]);
   const HostFunc& hf = host_funcs_[import_index];
   // Stage the arguments outside the shared value stack: a host function may
   // re-enter wasm via Instance::call, growing exec_.values and invalidating

@@ -164,6 +164,8 @@ class Instance {
   // Resolved host imports, copied by value: the Linker used at
   // instantiation time need not outlive the instance.
   std::vector<HostFunc> host_funcs_;
+  // "module.name" per host import, for trace spans around trampolines.
+  std::vector<std::string> host_func_names_;
   ExecContext exec_;
   void* user_data_ = nullptr;
   uint32_t max_call_depth_ = 256;

@@ -1,11 +1,13 @@
 // Tests for the common substrate: byte IO, LEB128, stats, tracked heap, RNG.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdint>
 #include <limits>
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/log.h"
 #include "common/result.h"
 #include "common/rng.h"
 #include "common/stats.h"
@@ -143,6 +145,38 @@ TEST(QuantileAcc, EmptyIsZero) {
   EXPECT_DOUBLE_EQ(acc.stddev(), 0.0);
 }
 
+TEST(QuantileAcc, BoundaryQuantilesClampToEndpoints) {
+  QuantileAcc acc;
+  acc.add(3.0);
+  acc.add(1.0);
+  acc.add(2.0);
+  // Nearest-rank endpoints: q=0 is the minimum, q=1 the maximum, and
+  // out-of-range q clamps rather than indexing out of the sample vector.
+  EXPECT_DOUBLE_EQ(acc.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(acc.quantile(1.0), 3.0);
+  EXPECT_DOUBLE_EQ(acc.quantile(-0.5), 1.0);
+  EXPECT_DOUBLE_EQ(acc.quantile(1.5), 3.0);
+}
+
+TEST(QuantileAcc, SingleSampleAllQuantilesEqual) {
+  QuantileAcc acc;
+  acc.add(7.0);
+  EXPECT_DOUBLE_EQ(acc.quantile(0.0), 7.0);
+  EXPECT_DOUBLE_EQ(acc.quantile(0.5), 7.0);
+  EXPECT_DOUBLE_EQ(acc.quantile(1.0), 7.0);
+  EXPECT_DOUBLE_EQ(acc.stddev(), 0.0);
+}
+
+TEST(QuantileAcc, StddevTwoSamples) {
+  QuantileAcc acc;
+  acc.add(2.0);
+  acc.add(4.0);
+  // Sample stddev (n-1 denominator): mean 3, squared deviations 1+1,
+  // variance 2/1 = 2.
+  EXPECT_DOUBLE_EQ(acc.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(acc.stddev(), std::sqrt(2.0));
+}
+
 TEST(QuantileAcc, AddAfterQueryResorts) {
   QuantileAcc acc;
   acc.add(10);
@@ -161,6 +195,52 @@ TEST(RateMeter, WindowedRate) {
   // At t=3, everything expired.
   EXPECT_DOUBLE_EQ(m.rate_bps(3.0), 0.0);
   EXPECT_EQ(m.total_bits(), 2000u);
+}
+
+TEST(RateMeter, EmptyWindowReportsZero) {
+  RateMeter m(1.0);
+  EXPECT_DOUBLE_EQ(m.rate_bps(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(m.rate_bps(100.0), 0.0);
+  EXPECT_EQ(m.total_bits(), 0u);
+}
+
+TEST(RateMeter, NonMonotoneAddClampsForward) {
+  RateMeter m(1.0);
+  m.add(1.0, 1000);
+  // A regressed timestamp (clock skew) is clamped to the newest entry, so
+  // the sample lands in the current window instead of corrupting eviction.
+  m.add(0.2, 1000);
+  EXPECT_DOUBLE_EQ(m.rate_bps(1.0), 2000.0);
+  EXPECT_EQ(m.total_bits(), 2000u);
+  // Both entries now sit at t=1.0 and expire together.
+  EXPECT_DOUBLE_EQ(m.rate_bps(2.5), 0.0);
+}
+
+TEST(RateMeter, StaleQueryAnchorsToNewestEntry) {
+  RateMeter m(1.0);
+  m.add(0.0, 1000);
+  m.add(2.0, 500);
+  // Querying at a time before the newest arrival anchors the window to the
+  // newest entry: the t=0 sample already expired, only the t=2 one counts.
+  EXPECT_DOUBLE_EQ(m.rate_bps(0.5), 500.0);
+}
+
+TEST(Log, PerComponentOverrides) {
+  set_log_level(LogLevel::kWarn);
+  EXPECT_FALSE(log_enabled(LogLevel::kDebug, "mac"));
+  EXPECT_TRUE(log_enabled(LogLevel::kWarn, "mac"));
+
+  set_log_level("mac", LogLevel::kDebug);
+  EXPECT_TRUE(log_enabled(LogLevel::kDebug, "mac"));
+  // Other components still follow the global level.
+  EXPECT_FALSE(log_enabled(LogLevel::kDebug, "e2"));
+
+  set_log_level("e2", LogLevel::kOff);
+  EXPECT_FALSE(log_enabled(LogLevel::kError, "e2"));
+
+  clear_log_level_overrides();
+  EXPECT_FALSE(log_enabled(LogLevel::kDebug, "mac"));
+  EXPECT_TRUE(log_enabled(LogLevel::kError, "e2"));
 }
 
 TEST(TrackedHeap, LeakAccounting) {
