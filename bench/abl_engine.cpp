@@ -6,8 +6,11 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 #include <new>
+#include <string>
 
+#include "bench/bench_util.h"
 #include "common/tracked_alloc.h"
 #include "plugin/plugin.h"
 #include "wasm/wasm.h"
@@ -302,4 +305,36 @@ BENCHMARK(BM_DispatchThroughput)
     ->ArgNames({"n", "metered"});
 BENCHMARK(BM_DecodeValidate);
 
+/// Console reporting plus machine-readable capture: every run lands in the
+/// shared BENCH_interp.json as `abl_engine.<name>.ns_per_op` and one entry
+/// per user counter (items_per_second, warm_heap_allocs, ...), which CI
+/// archives and gates regressions on (scripts/check_bench.py).
+class JsonCaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      const std::string base = "abl_engine." + run.benchmark_name();
+      entries[base + ".ns_per_op"] = run.GetAdjustedRealTime();
+      for (const auto& [name, counter] : run.counters) {
+        entries[base + "." + name] = static_cast<double>(counter.value);
+      }
+    }
+  }
+  std::map<std::string, double> entries;
+};
+
 }  // namespace
+
+// Defining main here keeps benchmark_main's archive member out of the link
+// while letting the usual --benchmark_* flags work unchanged.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonCaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  waran::bench::bench_json_merge(reporter.entries);
+  return 0;
+}

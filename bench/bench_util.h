@@ -3,6 +3,10 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
 #include <string>
 
 #include "plugin/manager.h"
@@ -41,6 +45,62 @@ inline void check(const Status& st, const char* what) {
     std::fprintf(stderr, "FATAL: %s: %s\n", what, st.error().message.c_str());
     std::abort();
   }
+}
+
+/// Path of the machine-readable benchmark report shared by the bench
+/// binaries (CI uploads it as an artifact and gates perf regressions on it).
+inline std::string bench_json_path() {
+  const char* p = std::getenv("WARAN_BENCH_JSON");
+  return (p != nullptr && *p != '\0') ? std::string(p)
+                                      : std::string("BENCH_interp.json");
+}
+
+/// Merges `entries` into the flat `{"key": number}` JSON at
+/// bench_json_path(). Read-merge-write (with a tolerant parser that skips
+/// anything that is not a `"key": number` pair) so separate bench processes
+/// — abl_engine for ns/op + instrs/s, fig5d for latency quantiles — can
+/// accumulate into one report file.
+inline void bench_json_merge(const std::map<std::string, double>& entries) {
+  const std::string path = bench_json_path();
+  std::map<std::string, double> all;
+  {
+    std::ifstream in(path);
+    if (in) {
+      std::stringstream ss;
+      ss << in.rdbuf();
+      const std::string text = ss.str();
+      size_t i = 0;
+      while ((i = text.find('"', i)) != std::string::npos) {
+        const size_t key_end = text.find('"', i + 1);
+        if (key_end == std::string::npos) break;
+        const std::string key = text.substr(i + 1, key_end - i - 1);
+        i = key_end + 1;
+        const size_t colon = text.find(':', key_end);
+        if (colon == std::string::npos) break;
+        const char* start = text.c_str() + colon + 1;
+        char* end = nullptr;
+        const double v = std::strtod(start, &end);
+        if (end != start) {
+          all[key] = v;
+          i = static_cast<size_t>(end - text.c_str());
+        }
+      }
+    }
+  }
+  for (const auto& [k, v] : entries) all[k] = v;
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "WARNING: cannot write %s\n", path.c_str());
+    return;
+  }
+  out << "{\n";
+  size_t n = 0;
+  for (const auto& [k, v] : all) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    out << "  \"" << k << "\": " << buf << (++n < all.size() ? "," : "") << "\n";
+  }
+  out << "}\n";
 }
 
 }  // namespace waran::bench

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Perf-smoke gate: compare a measured BENCH_interp.json against the
+checked-in baseline and fail on regressions.
+
+Usage: check_bench.py <baseline.json> <measured.json> [--tolerance 0.8]
+
+Rules:
+  * Every `*.items_per_second` key in the baseline must be present in the
+    measured file at >= tolerance * baseline (default 0.8, i.e. fail on a
+    >20% throughput regression). Baselines are set conservatively (well
+    below a quiet dev machine) so shared CI runners don't flake.
+  * Every `*.warm_heap_allocs` key in the measured file must be exactly 0
+    — the zero-alloc warm-call invariant is a correctness property, not a
+    throughput number, so it gets no tolerance.
+  * Every `*.p99_us` key in the baseline is an upper bound: measured must
+    be <= baseline / tolerance.
+
+Exit code 0 on pass, 1 on any violation (all violations are reported).
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    if not isinstance(data, dict):
+        raise SystemExit(f"{path}: expected a flat JSON object")
+    return data
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("measured")
+    ap.add_argument("--tolerance", type=float, default=0.8,
+                    help="minimum measured/baseline ratio for throughput keys")
+    args = ap.parse_args()
+
+    baseline = load(args.baseline)
+    measured = load(args.measured)
+    failures = []
+
+    for key, base in sorted(baseline.items()):
+        if key.endswith(".items_per_second"):
+            got = measured.get(key)
+            if got is None:
+                failures.append(f"MISSING  {key} (baseline {base:.3g})")
+            elif got < args.tolerance * base:
+                failures.append(
+                    f"REGRESS  {key}: {got:.3g} < {args.tolerance:g} * "
+                    f"baseline {base:.3g}")
+            else:
+                print(f"ok       {key}: {got:.3g} "
+                      f"(baseline {base:.3g}, floor {args.tolerance * base:.3g})")
+        elif key.endswith(".p99_us"):
+            got = measured.get(key)
+            bound = base / args.tolerance
+            if got is None:
+                failures.append(f"MISSING  {key} (baseline {base:.3g})")
+            elif got > bound:
+                failures.append(
+                    f"REGRESS  {key}: {got:.3g}us > ceiling {bound:.3g}us")
+            else:
+                print(f"ok       {key}: {got:.3g}us (ceiling {bound:.3g}us)")
+
+    for key, got in sorted(measured.items()):
+        if key.endswith(".warm_heap_allocs"):
+            if got != 0:
+                failures.append(f"ALLOCS   {key}: {got} != 0")
+            else:
+                print(f"ok       {key}: 0")
+
+    if failures:
+        print(f"\n{len(failures)} perf-smoke violation(s):", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("\nperf smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -108,6 +108,9 @@ Result<std::unique_ptr<Plugin>> Plugin::load(std::span<const uint8_t> module_byt
 
   WARAN_TRY(module, wasm::decode_module(module_bytes));
   WARAN_CHECK_OK(wasm::validate_module(module));
+  // Lower to the micro-op stream once here so every instance of this plugin
+  // shares the translation instead of re-lowering at instantiate time.
+  WARAN_CHECK_OK(wasm::translate_module(module));
   plugin->module_ = std::make_shared<const wasm::Module>(std::move(module));
 
   // Compose: base ABI first, then embedder functions (which may override —

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <sstream>
 
+#include "wasm/translate.h"
+
 namespace waran::wasm {
 namespace {
 
@@ -210,6 +212,130 @@ std::string disassemble(const Module& module) {
     out << disassemble_function(module, static_cast<uint32_t>(i));
   }
   out << ")\n";
+  return out.str();
+}
+
+namespace {
+
+bool uop_in(UOp op, UOp lo, UOp hi) {
+  const auto v = static_cast<uint16_t>(op);
+  return v >= static_cast<uint16_t>(lo) && v <= static_cast<uint16_t>(hi);
+}
+
+void append_target(std::ostringstream& out, uint32_t target, uint32_t charge) {
+  if (target == kRetTarget) {
+    out << " -> @ret";
+  } else {
+    out << " -> @" << target << " charge=" << charge;
+  }
+}
+
+void append_uop(std::ostringstream& out, const TranslatedFunc& tf, const UInstr& u) {
+  out << uop_name(u.op);
+  switch (u.op) {
+    case UOp::kSeg:
+      out << " charge=" << u.b;
+      return;
+    case UOp::kBr:
+    case UOp::kBrIf:
+      if (u.b != kRetTarget) {
+        out << " keep=" << u.a << " height=" << u.imm.pair.x;
+      }
+      append_target(out, u.b, u.imm.pair.y);
+      return;
+    case UOp::kJump:
+    case UOp::kJumpZ:
+    case UOp::kJumpNZ:
+      append_target(out, u.b, u.imm.pair.y);
+      return;
+    case UOp::kBrTable: {
+      // pair.x explicit targets, then the default arm.
+      for (uint32_t i = 0; i <= u.imm.pair.x; ++i) {
+        const UBrEntry& e = tf.br_entries[u.b + i];
+        out << (i == 0 ? " [" : " ");
+        if (i == u.imm.pair.x) out << "default:";
+        if (e.target == kRetTarget) {
+          out << "@ret";
+        } else {
+          out << "@" << e.target << "(charge=" << e.seg << ")";
+        }
+      }
+      out << "]";
+      return;
+    }
+    case UOp::kCallWasm:
+      out << " func=" << u.b;
+      return;
+    case UOp::kCallHost:
+      out << " import=" << u.b << " nparams=" << u.a
+          << (u.imm.pair.x != 0 ? " -> result" : "");
+      return;
+    case UOp::kCallIndirect:
+      out << " type=" << u.b << " nparams=" << u.a
+          << (u.imm.pair.x != 0 ? " -> result" : "");
+      return;
+    case UOp::kConst: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), " bits=0x%" PRIx64, u.imm.u64);
+      out << buf;
+      return;
+    }
+    case UOp::kLocalMove:
+      out << " l" << u.a << " -> l" << u.b;
+      return;
+    case UOp::kLCAddSetI32:
+      out << " l" << u.b << " = l" << u.a << " + " << u.imm.i32;
+      return;
+    default:
+      break;
+  }
+  if (uop_in(u.op, UOp::kLocalGet, UOp::kLocalTee) ||
+      uop_in(u.op, UOp::kGlobalGet, UOp::kGlobalSet)) {
+    out << " " << u.b;
+  } else if (uop_in(u.op, UOp::kI32Load, UOp::kI64Store32)) {
+    out << " offset=" << u.b;
+  } else if (uop_in(u.op, UOp::kLLAddI32, UOp::kLLXorI32) ||
+             uop_in(u.op, UOp::kLLEqI32, UOp::kLLGeUI32)) {
+    out << " l" << u.a << ", l" << u.b;
+  } else if (uop_in(u.op, UOp::kLCAddI32, UOp::kLCShrUI32) ||
+             uop_in(u.op, UOp::kLCEqI32, UOp::kLCGeUI32)) {
+    out << " l" << u.a << ", " << u.imm.i32;
+  } else if (uop_in(u.op, UOp::kCAddI32, UOp::kCAndI32)) {
+    out << " " << u.imm.i32;
+  } else if (uop_in(u.op, UOp::kBrIfLLEq, UOp::kBrIfLLGeU)) {
+    out << " l" << u.a << ", l" << u.imm.pair.x;
+    append_target(out, u.b, u.imm.pair.y);
+  } else if (uop_in(u.op, UOp::kBrIfLCEq, UOp::kBrIfLCGeU)) {
+    out << " l" << u.a << ", " << static_cast<int32_t>(u.imm.pair.x);
+    append_target(out, u.b, u.imm.pair.y);
+  }
+}
+
+}  // namespace
+
+std::string disassemble_translated(const Module& module, uint32_t defined_index) {
+  TranslatedFunc local;
+  const TranslatedFunc* tf = nullptr;
+  if (module.translated && defined_index < module.translated->funcs.size()) {
+    tf = &module.translated->funcs[defined_index];
+  } else {
+    auto r = translate_function(module, defined_index);
+    if (!r.ok()) return "<translate error: " + r.error().message + ">\n";
+    local = std::move(*r);
+    tf = &local;
+  }
+  std::ostringstream out;
+  out << ";; func " << (module.num_imported_funcs + defined_index) << ": "
+      << tf->ops.size() << " uops, max_stack=" << tf->max_stack << ", params="
+      << tf->num_params << ", locals=" << tf->num_locals << ", results="
+      << static_cast<int>(tf->result_arity) << "\n";
+  for (size_t i = 0; i < tf->ops.size(); ++i) {
+    char head[24];
+    std::snprintf(head, sizeof(head), "@%-5zu ", i);
+    out << head;
+    append_uop(out, *tf, tf->ops[i]);
+    out << "\n";
+  }
   return out.str();
 }
 

@@ -68,10 +68,6 @@ I trunc_sat(F f) {
   return static_cast<I>(d);
 }
 
-Error trap_here(Op op, const char* what) {
-  return Error::trap(std::string(what) + " in `" + to_string(op) + "`");
-}
-
 }  // namespace
 
 Result<std::unique_ptr<Instance>> Instance::instantiate(
@@ -82,6 +78,25 @@ Result<std::unique_ptr<Instance>> Instance::instantiate(
   inst->user_data_ = options.user_data;
   inst->max_call_depth_ = options.max_call_depth;
   const Module& m = *inst->module_;
+
+  // Pick up the module's shared micro-op stream, or lower the bodies here if
+  // the embedder skipped translate_module().
+  if (m.translated) {
+    inst->translated_ = m.translated;
+  } else {
+    auto tr = translate(m);
+    if (!tr.ok()) return tr.error();
+    inst->translated_ = std::move(*tr);
+  }
+
+  Dispatch d = options.dispatch;
+  if (d == Dispatch::kDefault) {
+    d = WARAN_HAS_THREADED_DISPATCH ? Dispatch::kThreaded : Dispatch::kSwitch;
+  }
+#if !WARAN_HAS_THREADED_DISPATCH
+  if (d == Dispatch::kThreaded) d = Dispatch::kSwitch;
+#endif
+  inst->dispatch_ = d;
 
   // Resolve imports. WA-RAN hosts only expose functions; table/memory/global
   // imports are rejected at instantiation (decoded for completeness).
@@ -205,6 +220,7 @@ Result<std::optional<TypedValue>> Instance::call(std::string_view export_name,
   if (options.deadline) {
     deadline_armed_ = true;
     deadline_ = std::chrono::steady_clock::now() + *options.deadline;
+    poll_countdown_ = kDeadlinePollStride;
   }
 
   const bool metered = fuel_enabled_;
@@ -233,6 +249,7 @@ Result<std::optional<TypedValue>> Instance::call(std::string_view export_name,
   if (options.deadline) {
     deadline_armed_ = saved_deadline_armed;
     deadline_ = saved_deadline;
+    poll_countdown_ = deadline_armed_ ? kDeadlinePollStride : kIdlePollStride;
   }
 
   if (!st.ok()) return st.error();
@@ -266,43 +283,30 @@ Status Instance::invoke_host(uint32_t import_index, std::span<const Value> args,
 Status Instance::push_frame(uint32_t func_index) {
   ExecContext& ec = exec_;
   if (ec.frames.size() >= max_call_depth_) return Error::trap("call stack exhausted");
-  const Code& code = module_->codes[func_index - module_->num_imported_funcs];
-  const FuncType& ft = module_->func_type(func_index);
-  const size_t nparams = ft.params.size();
+  const TranslatedFunc& tf =
+      translated_->funcs[func_index - module_->num_imported_funcs];
+  const uint32_t nparams = tf.num_params;
   const uint32_t locals_base = static_cast<uint32_t>(ec.locals.size());
-  const uint32_t stack_base = static_cast<uint32_t>(ec.values.size() - nparams);
-  const uint32_t label_base = static_cast<uint32_t>(ec.labels.size());
+  const uint32_t stack_base = ec.top - nparams;
 
-  // Arguments move off the value stack into the locals arena; the remaining
-  // declared locals are value-initialized (zeroed) by resize.
-  ec.locals.resize(locals_base + nparams + code.locals.size());
+  // Arguments move off the operand arena into the locals arena; the
+  // remaining declared locals are value-initialized (zeroed) by resize.
+  ec.locals.resize(locals_base + tf.num_locals);
   if (nparams > 0) {
     std::memcpy(ec.locals.data() + locals_base, ec.values.data() + stack_base,
                 nparams * sizeof(Value));
-    ec.values.resize(stack_base);
   }
-
-  const uint8_t result_arity = static_cast<uint8_t>(ft.results.size());
-  ec.labels.push_back(
-      {static_cast<uint32_t>(code.body.size()), stack_base, result_arity});
+  ec.top = stack_base;
+  // Reserve the frame's whole worst-case operand region once; the hot loop
+  // then runs a raw Value* with no per-push capacity checks. The arena only
+  // ever grows, so a warm call never reallocates.
+  if (ec.values.size() < static_cast<size_t>(stack_base) + tf.max_stack) {
+    ec.values.resize(static_cast<size_t>(stack_base) + tf.max_stack);
+  }
   ec.frames.push_back(
-      {&code, 0, func_index, locals_base, stack_base, label_base, result_arity});
+      {&tf, 0, func_index, locals_base, stack_base, tf.result_arity});
   if (ec.frames.size() > ec.peak_frames) {
     ec.peak_frames = static_cast<uint32_t>(ec.frames.size());
-  }
-  return {};
-}
-
-Status Instance::charge(const Code& code, uint32_t pc) {
-  const uint32_t seg = code.body[pc].seg_len;
-  if (fuel_enabled_) {
-    if (fuel_ < seg) return Error::fuel_exhausted("plugin exceeded its fuel budget");
-    fuel_ -= seg;
-  }
-  instructions_retired_ += seg;
-  if (deadline_armed_ && (++charge_ticks_ & 63u) == 0 &&
-      std::chrono::steady_clock::now() > deadline_) {
-    return Error::fuel_exhausted("plugin exceeded its wall-clock deadline");
   }
   return {};
 }
@@ -313,630 +317,52 @@ Status Instance::invoke(uint32_t func_index, std::span<const Value> args, Value*
   }
   ExecContext& ec = exec_;
   const size_t base_frames = ec.frames.size();
-  const size_t base_values = ec.values.size();
-  const size_t base_labels = ec.labels.size();
+  const uint32_t base_top = ec.top;
   const size_t base_locals = ec.locals.size();
 
-  const FuncType& ft = module_->func_type(func_index);
-  ec.values.insert(ec.values.end(), args.begin(), args.end());
+  if (ec.values.size() < static_cast<size_t>(ec.top) + args.size()) {
+    ec.values.resize(static_cast<size_t>(ec.top) + args.size());
+  }
+  if (!args.empty()) {
+    std::memcpy(ec.values.data() + ec.top, args.data(), args.size() * sizeof(Value));
+  }
+  ec.top += static_cast<uint32_t>(args.size());
+
   Status st = push_frame(func_index);
-  if (st.ok()) st = run(base_frames, result, static_cast<uint8_t>(ft.results.size()));
+  if (st.ok()) st = run(base_frames, result);
   if (!st.ok()) {
     // Unwind everything this call pushed so the shared ExecContext stays
     // consistent for the enclosing call (or the next one).
     ec.frames.resize(base_frames);
-    ec.values.resize(base_values);
-    ec.labels.resize(base_labels);
     ec.locals.resize(base_locals);
+    ec.top = base_top;
   }
   return st;
 }
 
-Status Instance::run(size_t base_frames, Value* result, uint8_t /*result_arity*/) {
-  ExecContext& ec = exec_;
-  std::vector<Value>& stack = ec.values;
-  std::vector<ExecContext::Label>& labels = ec.labels;
-
-  auto pop = [&]() -> Value {
-    Value v = stack.back();
-    stack.pop_back();
-    return v;
-  };
-  auto push = [&](Value v) { stack.push_back(v); };
-
-reenter:
-  // (Re-)cache the top frame. Reached on entry, on wasm->wasm call, and on
-  // return to a caller; in each case the segment at `pc` is not yet charged.
-  const Code& code = *ec.frames.back().code;
-  const Instr* body = code.body.data();
-  const uint32_t body_size = static_cast<uint32_t>(code.body.size());
-  const uint32_t locals_base = ec.frames.back().locals_base;
-  Value* locals = ec.locals.data() + locals_base;
-  uint32_t pc = ec.frames.back().pc;
-
-  if (pc < body_size) {
-    Status cst = charge(code, pc);
-    if (!cst.ok()) return cst;
-  }
-
-  auto do_branch = [&](uint32_t d) -> Status {
-    const ExecContext::Label l = labels[labels.size() - 1 - d];
-    const uint32_t keep = l.arity;
-    for (uint32_t i = 0; i < keep; ++i) {
-      stack[l.height + i] = stack[stack.size() - keep + i];
-    }
-    stack.resize(l.height + keep);
-    labels.resize(labels.size() - 1 - d);
-    pc = l.cont;
-    // The branch ended the charged segment; pay for the target's segment.
-    if (pc < body_size) return charge(code, pc);
-    return Status{};
-  };
-
-  while (pc < body_size) {
-    const Instr& ins = body[pc];
-    ++pc;
-
-    switch (ins.op) {
-      case Op::kUnreachable:
-        return trap_here(ins.op, "unreachable executed");
-      case Op::kNop:
-        break;
-
-      case Op::kBlock:
-        labels.push_back({ins.imm.ctrl.end_pc + 1,
-                          static_cast<uint32_t>(stack.size()), ins.block_arity});
-        break;
-      case Op::kLoop:
-        labels.push_back({pc - 1, static_cast<uint32_t>(stack.size()), 0});
-        break;
-      case Op::kIf: {
-        int32_t cond = pop().as_i32();
-        labels.push_back({ins.imm.ctrl.end_pc + 1,
-                          static_cast<uint32_t>(stack.size()), ins.block_arity});
-        if (cond == 0) {
-          pc = (ins.imm.ctrl.else_pc != ins.imm.ctrl.end_pc) ? ins.imm.ctrl.else_pc + 1
-                                                             : ins.imm.ctrl.end_pc;
-        }
-        // `if` ends its fuel segment on both edges; pay for the taken side.
-        Status cst = charge(code, pc);
-        if (!cst.ok()) return cst;
-        break;
-      }
-      case Op::kElse: {
-        // Reached only by falling out of the true branch: skip to `end`.
-        pc = ins.imm.ctrl.end_pc;
-        Status cst = charge(code, pc);
-        if (!cst.ok()) return cst;
-        break;
-      }
-      case Op::kEnd:
-        labels.pop_back();
-        break;
-
-      case Op::kBr: {
-        Status cst = do_branch(ins.imm.index);
-        if (!cst.ok()) return cst;
-        break;
-      }
-      case Op::kBrIf: {
-        // Taken: segment charge happens at the target. Untaken: the
-        // fall-through at pc starts a fresh segment, charged here.
-        Status cst =
-            pop().as_i32() != 0 ? do_branch(ins.imm.index) : charge(code, pc);
-        if (!cst.ok()) return cst;
-        break;
-      }
-      case Op::kBrTable: {
-        const BrTable& bt = code.br_tables[ins.imm.br_table_index];
-        uint32_t i = pop().as_u32();
-        Status cst = do_branch(i < bt.targets.size() ? bt.targets[i] : bt.default_target);
-        if (!cst.ok()) return cst;
-        break;
-      }
-      case Op::kReturn:
-        pc = body_size;
-        break;
-
-      case Op::kCall: {
-        const uint32_t callee = ins.imm.index;
-        if (callee < module_->num_imported_funcs) {
-          const FuncType& ct = module_->func_type(callee);
-          const size_t n = ct.params.size();
-          Value res{};
-          Status st = invoke_host(
-              callee, std::span<const Value>(stack.data() + stack.size() - n, n), &res);
-          if (!st.ok()) return st;
-          stack.resize(stack.size() - n);
-          if (!ct.results.empty()) push(res);
-          // A re-entrant host->wasm call may have grown the locals arena.
-          locals = ec.locals.data() + locals_base;
-          Status cst = charge(code, pc);  // resume segment after the call
-          if (!cst.ok()) return cst;
-          break;
-        }
-        ec.frames.back().pc = pc;
-        Status st = push_frame(callee);
-        if (!st.ok()) return st;
-        goto reenter;
-      }
-      case Op::kCallIndirect: {
-        uint32_t elem = pop().as_u32();
-        if (elem >= table_.size()) return trap_here(ins.op, "table index out of bounds");
-        uint32_t target = table_[elem];
-        if (target == kNullFuncRef) return trap_here(ins.op, "uninitialized table element");
-        const FuncType& expect = module_->types[ins.imm.call_indirect.type_index];
-        const FuncType& actual = module_->func_type(target);
-        if (!(expect == actual)) return trap_here(ins.op, "indirect call signature mismatch");
-        if (target < module_->num_imported_funcs) {
-          const size_t n = expect.params.size();
-          Value res{};
-          Status st = invoke_host(
-              target, std::span<const Value>(stack.data() + stack.size() - n, n), &res);
-          if (!st.ok()) return st;
-          stack.resize(stack.size() - n);
-          if (!expect.results.empty()) push(res);
-          locals = ec.locals.data() + locals_base;
-          Status cst = charge(code, pc);
-          if (!cst.ok()) return cst;
-          break;
-        }
-        ec.frames.back().pc = pc;
-        Status st = push_frame(target);
-        if (!st.ok()) return st;
-        goto reenter;
-      }
-
-      case Op::kDrop:
-        stack.pop_back();
-        break;
-      case Op::kSelect: {
-        int32_t c = pop().as_i32();
-        Value b = pop();
-        Value a = pop();
-        push(c != 0 ? a : b);
-        break;
-      }
-
-      case Op::kLocalGet:
-        push(locals[ins.imm.index]);
-        break;
-      case Op::kLocalSet:
-        locals[ins.imm.index] = pop();
-        break;
-      case Op::kLocalTee:
-        locals[ins.imm.index] = stack.back();
-        break;
-      case Op::kGlobalGet:
-        push(globals_[ins.imm.index]);
-        break;
-      case Op::kGlobalSet:
-        globals_[ins.imm.index] = pop();
-        break;
-
-#define WARAN_LOAD(ctype, push_fn)                                          \
-  {                                                                         \
-    uint32_t base = pop().as_u32();                                         \
-    auto lv = memory_->load<ctype>(base, ins.imm.mem.offset);               \
-    if (!lv.ok()) return lv.error();                                        \
-    push(push_fn);                                                          \
-  }                                                                         \
-  break
-
-      case Op::kI32Load: WARAN_LOAD(int32_t, Value::from_i32(*lv));
-      case Op::kI64Load: WARAN_LOAD(int64_t, Value::from_i64(*lv));
-      case Op::kF32Load: WARAN_LOAD(float, Value::from_f32(*lv));
-      case Op::kF64Load: WARAN_LOAD(double, Value::from_f64(*lv));
-      case Op::kI32Load8S: WARAN_LOAD(int8_t, Value::from_i32(*lv));
-      case Op::kI32Load8U: WARAN_LOAD(uint8_t, Value::from_u32(*lv));
-      case Op::kI32Load16S: WARAN_LOAD(int16_t, Value::from_i32(*lv));
-      case Op::kI32Load16U: WARAN_LOAD(uint16_t, Value::from_u32(*lv));
-      case Op::kI64Load8S: WARAN_LOAD(int8_t, Value::from_i64(*lv));
-      case Op::kI64Load8U: WARAN_LOAD(uint8_t, Value::from_u64(*lv));
-      case Op::kI64Load16S: WARAN_LOAD(int16_t, Value::from_i64(*lv));
-      case Op::kI64Load16U: WARAN_LOAD(uint16_t, Value::from_u64(*lv));
-      case Op::kI64Load32S: WARAN_LOAD(int32_t, Value::from_i64(*lv));
-      case Op::kI64Load32U: WARAN_LOAD(uint32_t, Value::from_u64(*lv));
-#undef WARAN_LOAD
-
-#define WARAN_STORE(ctype, get_expr)                                        \
-  {                                                                         \
-    Value v = pop();                                                        \
-    uint32_t base = pop().as_u32();                                         \
-    Status st = memory_->store<ctype>(base, ins.imm.mem.offset, get_expr);  \
-    if (!st.ok()) return st;                                                \
-  }                                                                         \
-  break
-
-      case Op::kI32Store: WARAN_STORE(int32_t, v.as_i32());
-      case Op::kI64Store: WARAN_STORE(int64_t, v.as_i64());
-      case Op::kF32Store: WARAN_STORE(float, v.as_f32());
-      case Op::kF64Store: WARAN_STORE(double, v.as_f64());
-      case Op::kI32Store8: WARAN_STORE(uint8_t, static_cast<uint8_t>(v.as_u32()));
-      case Op::kI32Store16: WARAN_STORE(uint16_t, static_cast<uint16_t>(v.as_u32()));
-      case Op::kI64Store8: WARAN_STORE(uint8_t, static_cast<uint8_t>(v.as_u64()));
-      case Op::kI64Store16: WARAN_STORE(uint16_t, static_cast<uint16_t>(v.as_u64()));
-      case Op::kI64Store32: WARAN_STORE(uint32_t, static_cast<uint32_t>(v.as_u64()));
-#undef WARAN_STORE
-
-      case Op::kMemorySize:
-        push(Value::from_u32(memory_->pages()));
-        break;
-      case Op::kMemoryGrow: {
-        uint32_t delta = pop().as_u32();
-        push(Value::from_u32(memory_->grow(delta)));
-        break;
-      }
-      case Op::kMemoryCopy: {
-        uint32_t len = pop().as_u32();
-        uint32_t src = pop().as_u32();
-        uint32_t dst = pop().as_u32();
-        Status st = memory_->copy(dst, src, len);
-        if (!st.ok()) return st;
-        break;
-      }
-      case Op::kMemoryFill: {
-        uint32_t len = pop().as_u32();
-        uint32_t val = pop().as_u32();
-        uint32_t dst = pop().as_u32();
-        Status st = memory_->fill(dst, static_cast<uint8_t>(val), len);
-        if (!st.ok()) return st;
-        break;
-      }
-
-      case Op::kI32Const: push(Value::from_i32(ins.imm.i32)); break;
-      case Op::kI64Const: push(Value::from_i64(ins.imm.i64)); break;
-      case Op::kF32Const: push(Value::from_f32(ins.imm.f32)); break;
-      case Op::kF64Const: push(Value::from_f64(ins.imm.f64)); break;
-
-#define WARAN_CMP(pop_t, expr)                 \
-  {                                            \
-    auto rhs = pop().pop_t();                  \
-    auto lhs = pop().pop_t();                  \
-    (void)lhs; (void)rhs;                      \
-    push(Value::from_i32((expr) ? 1 : 0));     \
-  }                                            \
-  break
-
-      case Op::kI32Eqz: push(Value::from_i32(pop().as_i32() == 0 ? 1 : 0)); break;
-      case Op::kI32Eq: WARAN_CMP(as_i32, lhs == rhs);
-      case Op::kI32Ne: WARAN_CMP(as_i32, lhs != rhs);
-      case Op::kI32LtS: WARAN_CMP(as_i32, lhs < rhs);
-      case Op::kI32LtU: WARAN_CMP(as_u32, lhs < rhs);
-      case Op::kI32GtS: WARAN_CMP(as_i32, lhs > rhs);
-      case Op::kI32GtU: WARAN_CMP(as_u32, lhs > rhs);
-      case Op::kI32LeS: WARAN_CMP(as_i32, lhs <= rhs);
-      case Op::kI32LeU: WARAN_CMP(as_u32, lhs <= rhs);
-      case Op::kI32GeS: WARAN_CMP(as_i32, lhs >= rhs);
-      case Op::kI32GeU: WARAN_CMP(as_u32, lhs >= rhs);
-
-      case Op::kI64Eqz: push(Value::from_i32(pop().as_i64() == 0 ? 1 : 0)); break;
-      case Op::kI64Eq: WARAN_CMP(as_i64, lhs == rhs);
-      case Op::kI64Ne: WARAN_CMP(as_i64, lhs != rhs);
-      case Op::kI64LtS: WARAN_CMP(as_i64, lhs < rhs);
-      case Op::kI64LtU: WARAN_CMP(as_u64, lhs < rhs);
-      case Op::kI64GtS: WARAN_CMP(as_i64, lhs > rhs);
-      case Op::kI64GtU: WARAN_CMP(as_u64, lhs > rhs);
-      case Op::kI64LeS: WARAN_CMP(as_i64, lhs <= rhs);
-      case Op::kI64LeU: WARAN_CMP(as_u64, lhs <= rhs);
-      case Op::kI64GeS: WARAN_CMP(as_i64, lhs >= rhs);
-      case Op::kI64GeU: WARAN_CMP(as_u64, lhs >= rhs);
-
-      case Op::kF32Eq: WARAN_CMP(as_f32, lhs == rhs);
-      case Op::kF32Ne: WARAN_CMP(as_f32, lhs != rhs);
-      case Op::kF32Lt: WARAN_CMP(as_f32, lhs < rhs);
-      case Op::kF32Gt: WARAN_CMP(as_f32, lhs > rhs);
-      case Op::kF32Le: WARAN_CMP(as_f32, lhs <= rhs);
-      case Op::kF32Ge: WARAN_CMP(as_f32, lhs >= rhs);
-      case Op::kF64Eq: WARAN_CMP(as_f64, lhs == rhs);
-      case Op::kF64Ne: WARAN_CMP(as_f64, lhs != rhs);
-      case Op::kF64Lt: WARAN_CMP(as_f64, lhs < rhs);
-      case Op::kF64Gt: WARAN_CMP(as_f64, lhs > rhs);
-      case Op::kF64Le: WARAN_CMP(as_f64, lhs <= rhs);
-      case Op::kF64Ge: WARAN_CMP(as_f64, lhs >= rhs);
-#undef WARAN_CMP
-
-      case Op::kI32Clz: {
-        uint32_t v = pop().as_u32();
-        push(Value::from_u32(v == 0 ? 32 : static_cast<uint32_t>(std::countl_zero(v))));
-        break;
-      }
-      case Op::kI32Ctz: {
-        uint32_t v = pop().as_u32();
-        push(Value::from_u32(v == 0 ? 32 : static_cast<uint32_t>(std::countr_zero(v))));
-        break;
-      }
-      case Op::kI32Popcnt:
-        push(Value::from_u32(static_cast<uint32_t>(std::popcount(pop().as_u32()))));
-        break;
-
-#define WARAN_BIN(pop_t, from_fn, expr)  \
-  {                                      \
-    auto rhs = pop().pop_t();            \
-    auto lhs = pop().pop_t();            \
-    push(Value::from_fn(expr));          \
-  }                                      \
-  break
-
-      case Op::kI32Add: WARAN_BIN(as_u32, from_u32, lhs + rhs);
-      case Op::kI32Sub: WARAN_BIN(as_u32, from_u32, lhs - rhs);
-      case Op::kI32Mul: WARAN_BIN(as_u32, from_u32, lhs * rhs);
-      case Op::kI32DivS: {
-        int32_t rhs = pop().as_i32();
-        int32_t lhs = pop().as_i32();
-        if (rhs == 0) return trap_here(ins.op, "integer divide by zero");
-        if (lhs == std::numeric_limits<int32_t>::min() && rhs == -1) {
-          return trap_here(ins.op, "integer overflow");
-        }
-        push(Value::from_i32(lhs / rhs));
-        break;
-      }
-      case Op::kI32DivU: {
-        uint32_t rhs = pop().as_u32();
-        uint32_t lhs = pop().as_u32();
-        if (rhs == 0) return trap_here(ins.op, "integer divide by zero");
-        push(Value::from_u32(lhs / rhs));
-        break;
-      }
-      case Op::kI32RemS: {
-        int32_t rhs = pop().as_i32();
-        int32_t lhs = pop().as_i32();
-        if (rhs == 0) return trap_here(ins.op, "integer divide by zero");
-        if (lhs == std::numeric_limits<int32_t>::min() && rhs == -1) {
-          push(Value::from_i32(0));
-        } else {
-          push(Value::from_i32(lhs % rhs));
-        }
-        break;
-      }
-      case Op::kI32RemU: {
-        uint32_t rhs = pop().as_u32();
-        uint32_t lhs = pop().as_u32();
-        if (rhs == 0) return trap_here(ins.op, "integer divide by zero");
-        push(Value::from_u32(lhs % rhs));
-        break;
-      }
-      case Op::kI32And: WARAN_BIN(as_u32, from_u32, lhs & rhs);
-      case Op::kI32Or: WARAN_BIN(as_u32, from_u32, lhs | rhs);
-      case Op::kI32Xor: WARAN_BIN(as_u32, from_u32, lhs ^ rhs);
-      case Op::kI32Shl: WARAN_BIN(as_u32, from_u32, lhs << (rhs & 31));
-      case Op::kI32ShrS: {
-        uint32_t rhs = pop().as_u32();
-        int32_t lhs = pop().as_i32();
-        push(Value::from_i32(lhs >> (rhs & 31)));
-        break;
-      }
-      case Op::kI32ShrU: WARAN_BIN(as_u32, from_u32, lhs >> (rhs & 31));
-      case Op::kI32Rotl: WARAN_BIN(as_u32, from_u32, std::rotl(lhs, static_cast<int>(rhs & 31)));
-      case Op::kI32Rotr: WARAN_BIN(as_u32, from_u32, std::rotr(lhs, static_cast<int>(rhs & 31)));
-
-      case Op::kI64Clz: {
-        uint64_t v = pop().as_u64();
-        push(Value::from_u64(v == 0 ? 64 : static_cast<uint64_t>(std::countl_zero(v))));
-        break;
-      }
-      case Op::kI64Ctz: {
-        uint64_t v = pop().as_u64();
-        push(Value::from_u64(v == 0 ? 64 : static_cast<uint64_t>(std::countr_zero(v))));
-        break;
-      }
-      case Op::kI64Popcnt:
-        push(Value::from_u64(static_cast<uint64_t>(std::popcount(pop().as_u64()))));
-        break;
-      case Op::kI64Add: WARAN_BIN(as_u64, from_u64, lhs + rhs);
-      case Op::kI64Sub: WARAN_BIN(as_u64, from_u64, lhs - rhs);
-      case Op::kI64Mul: WARAN_BIN(as_u64, from_u64, lhs * rhs);
-      case Op::kI64DivS: {
-        int64_t rhs = pop().as_i64();
-        int64_t lhs = pop().as_i64();
-        if (rhs == 0) return trap_here(ins.op, "integer divide by zero");
-        if (lhs == std::numeric_limits<int64_t>::min() && rhs == -1) {
-          return trap_here(ins.op, "integer overflow");
-        }
-        push(Value::from_i64(lhs / rhs));
-        break;
-      }
-      case Op::kI64DivU: {
-        uint64_t rhs = pop().as_u64();
-        uint64_t lhs = pop().as_u64();
-        if (rhs == 0) return trap_here(ins.op, "integer divide by zero");
-        push(Value::from_u64(lhs / rhs));
-        break;
-      }
-      case Op::kI64RemS: {
-        int64_t rhs = pop().as_i64();
-        int64_t lhs = pop().as_i64();
-        if (rhs == 0) return trap_here(ins.op, "integer divide by zero");
-        if (lhs == std::numeric_limits<int64_t>::min() && rhs == -1) {
-          push(Value::from_i64(0));
-        } else {
-          push(Value::from_i64(lhs % rhs));
-        }
-        break;
-      }
-      case Op::kI64RemU: {
-        uint64_t rhs = pop().as_u64();
-        uint64_t lhs = pop().as_u64();
-        if (rhs == 0) return trap_here(ins.op, "integer divide by zero");
-        push(Value::from_u64(lhs % rhs));
-        break;
-      }
-      case Op::kI64And: WARAN_BIN(as_u64, from_u64, lhs & rhs);
-      case Op::kI64Or: WARAN_BIN(as_u64, from_u64, lhs | rhs);
-      case Op::kI64Xor: WARAN_BIN(as_u64, from_u64, lhs ^ rhs);
-      case Op::kI64Shl: WARAN_BIN(as_u64, from_u64, lhs << (rhs & 63));
-      case Op::kI64ShrS: {
-        uint64_t rhs = pop().as_u64();
-        int64_t lhs = pop().as_i64();
-        push(Value::from_i64(lhs >> (rhs & 63)));
-        break;
-      }
-      case Op::kI64ShrU: WARAN_BIN(as_u64, from_u64, lhs >> (rhs & 63));
-      case Op::kI64Rotl: WARAN_BIN(as_u64, from_u64, std::rotl(lhs, static_cast<int>(rhs & 63)));
-      case Op::kI64Rotr: WARAN_BIN(as_u64, from_u64, std::rotr(lhs, static_cast<int>(rhs & 63)));
-
-      case Op::kF32Abs: push(Value::from_f32(std::fabs(pop().as_f32()))); break;
-      case Op::kF32Neg: push(Value::from_f32(-pop().as_f32())); break;
-      case Op::kF32Ceil: push(Value::from_f32(std::ceil(pop().as_f32()))); break;
-      case Op::kF32Floor: push(Value::from_f32(std::floor(pop().as_f32()))); break;
-      case Op::kF32Trunc: push(Value::from_f32(std::trunc(pop().as_f32()))); break;
-      case Op::kF32Nearest: push(Value::from_f32(std::nearbyintf(pop().as_f32()))); break;
-      case Op::kF32Sqrt: push(Value::from_f32(std::sqrt(pop().as_f32()))); break;
-      case Op::kF32Add: WARAN_BIN(as_f32, from_f32, lhs + rhs);
-      case Op::kF32Sub: WARAN_BIN(as_f32, from_f32, lhs - rhs);
-      case Op::kF32Mul: WARAN_BIN(as_f32, from_f32, lhs * rhs);
-      case Op::kF32Div: WARAN_BIN(as_f32, from_f32, lhs / rhs);
-      case Op::kF32Min: WARAN_BIN(as_f32, from_f32, wasm_fmin(lhs, rhs));
-      case Op::kF32Max: WARAN_BIN(as_f32, from_f32, wasm_fmax(lhs, rhs));
-      case Op::kF32Copysign: WARAN_BIN(as_f32, from_f32, std::copysign(lhs, rhs));
-
-      case Op::kF64Abs: push(Value::from_f64(std::fabs(pop().as_f64()))); break;
-      case Op::kF64Neg: push(Value::from_f64(-pop().as_f64())); break;
-      case Op::kF64Ceil: push(Value::from_f64(std::ceil(pop().as_f64()))); break;
-      case Op::kF64Floor: push(Value::from_f64(std::floor(pop().as_f64()))); break;
-      case Op::kF64Trunc: push(Value::from_f64(std::trunc(pop().as_f64()))); break;
-      case Op::kF64Nearest: push(Value::from_f64(std::nearbyint(pop().as_f64()))); break;
-      case Op::kF64Sqrt: push(Value::from_f64(std::sqrt(pop().as_f64()))); break;
-      case Op::kF64Add: WARAN_BIN(as_f64, from_f64, lhs + rhs);
-      case Op::kF64Sub: WARAN_BIN(as_f64, from_f64, lhs - rhs);
-      case Op::kF64Mul: WARAN_BIN(as_f64, from_f64, lhs * rhs);
-      case Op::kF64Div: WARAN_BIN(as_f64, from_f64, lhs / rhs);
-      case Op::kF64Min: WARAN_BIN(as_f64, from_f64, wasm_fmin(lhs, rhs));
-      case Op::kF64Max: WARAN_BIN(as_f64, from_f64, wasm_fmax(lhs, rhs));
-      case Op::kF64Copysign: WARAN_BIN(as_f64, from_f64, std::copysign(lhs, rhs));
-#undef WARAN_BIN
-
-      case Op::kI32WrapI64:
-        push(Value::from_u32(static_cast<uint32_t>(pop().as_u64())));
-        break;
-
-      case Op::kI32TruncF32S: {
-        float f = pop().as_f32();
-        int32_t out;
-        if (!trunc_checked<int32_t>(f, &out)) return trap_here(ins.op, "invalid conversion to integer");
-        push(Value::from_i32(out));
-        break;
-      }
-      case Op::kI32TruncF32U: {
-        float f = pop().as_f32();
-        uint32_t out;
-        if (!trunc_checked<uint32_t>(f, &out)) return trap_here(ins.op, "invalid conversion to integer");
-        push(Value::from_u32(out));
-        break;
-      }
-      case Op::kI32TruncF64S: {
-        double f = pop().as_f64();
-        int32_t out;
-        if (!trunc_checked<int32_t>(f, &out)) return trap_here(ins.op, "invalid conversion to integer");
-        push(Value::from_i32(out));
-        break;
-      }
-      case Op::kI32TruncF64U: {
-        double f = pop().as_f64();
-        uint32_t out;
-        if (!trunc_checked<uint32_t>(f, &out)) return trap_here(ins.op, "invalid conversion to integer");
-        push(Value::from_u32(out));
-        break;
-      }
-      case Op::kI64TruncF32S: {
-        float f = pop().as_f32();
-        int64_t out;
-        if (!trunc_checked<int64_t>(f, &out)) return trap_here(ins.op, "invalid conversion to integer");
-        push(Value::from_i64(out));
-        break;
-      }
-      case Op::kI64TruncF32U: {
-        float f = pop().as_f32();
-        uint64_t out;
-        if (!trunc_checked<uint64_t>(f, &out)) return trap_here(ins.op, "invalid conversion to integer");
-        push(Value::from_u64(out));
-        break;
-      }
-      case Op::kI64TruncF64S: {
-        double f = pop().as_f64();
-        int64_t out;
-        if (!trunc_checked<int64_t>(f, &out)) return trap_here(ins.op, "invalid conversion to integer");
-        push(Value::from_i64(out));
-        break;
-      }
-      case Op::kI64TruncF64U: {
-        double f = pop().as_f64();
-        uint64_t out;
-        if (!trunc_checked<uint64_t>(f, &out)) return trap_here(ins.op, "invalid conversion to integer");
-        push(Value::from_u64(out));
-        break;
-      }
-
-      case Op::kI32TruncSatF32S: push(Value::from_i32(trunc_sat<int32_t>(pop().as_f32()))); break;
-      case Op::kI32TruncSatF32U: push(Value::from_u32(trunc_sat<uint32_t>(pop().as_f32()))); break;
-      case Op::kI32TruncSatF64S: push(Value::from_i32(trunc_sat<int32_t>(pop().as_f64()))); break;
-      case Op::kI32TruncSatF64U: push(Value::from_u32(trunc_sat<uint32_t>(pop().as_f64()))); break;
-      case Op::kI64TruncSatF32S: push(Value::from_i64(trunc_sat<int64_t>(pop().as_f32()))); break;
-      case Op::kI64TruncSatF32U: push(Value::from_u64(trunc_sat<uint64_t>(pop().as_f32()))); break;
-      case Op::kI64TruncSatF64S: push(Value::from_i64(trunc_sat<int64_t>(pop().as_f64()))); break;
-      case Op::kI64TruncSatF64U: push(Value::from_u64(trunc_sat<uint64_t>(pop().as_f64()))); break;
-
-      case Op::kI64ExtendI32S: push(Value::from_i64(pop().as_i32())); break;
-      case Op::kI64ExtendI32U: push(Value::from_u64(pop().as_u32())); break;
-      case Op::kF32ConvertI32S: push(Value::from_f32(static_cast<float>(pop().as_i32()))); break;
-      case Op::kF32ConvertI32U: push(Value::from_f32(static_cast<float>(pop().as_u32()))); break;
-      case Op::kF32ConvertI64S: push(Value::from_f32(static_cast<float>(pop().as_i64()))); break;
-      case Op::kF32ConvertI64U: push(Value::from_f32(static_cast<float>(pop().as_u64()))); break;
-      case Op::kF32DemoteF64: push(Value::from_f32(static_cast<float>(pop().as_f64()))); break;
-      case Op::kF64ConvertI32S: push(Value::from_f64(static_cast<double>(pop().as_i32()))); break;
-      case Op::kF64ConvertI32U: push(Value::from_f64(static_cast<double>(pop().as_u32()))); break;
-      case Op::kF64ConvertI64S: push(Value::from_f64(static_cast<double>(pop().as_i64()))); break;
-      case Op::kF64ConvertI64U: push(Value::from_f64(static_cast<double>(pop().as_u64()))); break;
-      case Op::kF64PromoteF32: push(Value::from_f64(static_cast<double>(pop().as_f32()))); break;
-
-      // Reinterpretations are no-ops on the untagged 64-bit cell, except f32
-      // bit-cleaning of the upper half (already zeroed by from_f32/from_u32).
-      case Op::kI32ReinterpretF32:
-      case Op::kF32ReinterpretI32:
-      case Op::kI64ReinterpretF64:
-      case Op::kF64ReinterpretI64:
-        break;
-
-      case Op::kI32Extend8S:
-        push(Value::from_i32(static_cast<int8_t>(pop().as_u32())));
-        break;
-      case Op::kI32Extend16S:
-        push(Value::from_i32(static_cast<int16_t>(pop().as_u32())));
-        break;
-      case Op::kI64Extend8S:
-        push(Value::from_i64(static_cast<int8_t>(pop().as_u64())));
-        break;
-      case Op::kI64Extend16S:
-        push(Value::from_i64(static_cast<int16_t>(pop().as_u64())));
-        break;
-      case Op::kI64Extend32S:
-        push(Value::from_i64(static_cast<int32_t>(pop().as_u64())));
-        break;
-    }
-  }
-
-  // The top frame ran off the end of its body (final `end` or `return`):
-  // move its results down to the caller's operand position and pop it.
-  {
-    const ExecContext::Frame fr = ec.frames.back();
-    const uint32_t arity = fr.result_arity;
-    for (uint32_t i = 0; i < arity; ++i) {
-      stack[fr.stack_base + i] = stack[stack.size() - arity + i];
-    }
-    stack.resize(fr.stack_base + arity);
-    labels.resize(fr.label_base);
-    ec.locals.resize(fr.locals_base);
-    ec.frames.pop_back();
-    if (ec.frames.size() == base_frames) {
-      if (arity != 0) {
-        *result = stack.back();
-        stack.pop_back();
-      }
-      return {};
-    }
-  }
-  goto reenter;
+Status Instance::run(size_t base_frames, Value* result) {
+#if WARAN_HAS_THREADED_DISPATCH
+  if (dispatch_ == Dispatch::kThreaded) return run_threaded(base_frames, result);
+#endif
+  return run_switch(base_frames, result);
 }
+
+// The two dispatcher bodies are generated from one shared core so their
+// semantics cannot drift; the switch build is the differential-test oracle
+// for the threaded hot path.
+#define WARAN_RUN_NAME run_switch
+#define WARAN_INTERP_THREADED 0
+#include "wasm/interp_loop.inc"
+
+#if WARAN_HAS_THREADED_DISPATCH
+#define WARAN_RUN_NAME run_threaded
+#define WARAN_INTERP_THREADED 1
+#include "wasm/interp_loop.inc"
+#else
+Status Instance::run_threaded(size_t base_frames, Value* result) {
+  return run_switch(base_frames, result);
+}
+#endif
 
 void Linker::register_func(std::string module, std::string name, HostFunc fn) {
   funcs_[{std::move(module), std::move(name)}] = std::move(fn);

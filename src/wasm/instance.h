@@ -1,12 +1,16 @@
 // Module instantiation and execution. An Instance owns the runtime state of
 // one loaded plugin: linear memory, globals, the indirect-call table, and
-// resolved host imports. Execution is an explicit-frame validated-bytecode
-// interpreter: wasm->wasm calls push interpreter frames onto a reusable
-// ExecContext instead of recursing natively, so call depth is bounded
-// exactly and cheaply, and a warm repeated call performs zero heap
-// allocations. Fuel metering (the mechanism WA-RAN uses to bound plugin
-// execution time against the 5G slot deadline) is charged per straight-line
-// segment rather than per instruction — see doc/interpreter.md.
+// resolved host imports. Execution is an explicit-frame interpreter over the
+// translated micro-op stream (wasm/translate.h): control flow is
+// pre-resolved into direct jumps, the operand stack is a raw Value* against
+// a buffer reserved once per frame entry, and dispatch is computed-goto
+// threaded on GCC/Clang (with a portable switch fallback that doubles as
+// the differential-test oracle). wasm->wasm calls push interpreter frames
+// onto a reusable ExecContext instead of recursing natively, so call depth
+// is bounded exactly and cheaply, and a warm repeated call performs zero
+// heap allocations. Fuel metering (the mechanism WA-RAN uses to bound
+// plugin execution time against the 5G slot deadline) is charged per
+// straight-line segment rather than per instruction — see doc/interpreter.md.
 #pragma once
 
 #include <chrono>
@@ -21,8 +25,25 @@
 #include "wasm/host.h"
 #include "wasm/memory.h"
 #include "wasm/module.h"
+#include "wasm/translate.h"
+
+// Threaded (computed-goto) dispatch needs the GNU labels-as-values
+// extension; define WARAN_INTERP_SWITCH to force the portable switch loop
+// even where the extension is available.
+#if !defined(WARAN_INTERP_SWITCH) && (defined(__GNUC__) || defined(__clang__))
+#define WARAN_HAS_THREADED_DISPATCH 1
+#else
+#define WARAN_HAS_THREADED_DISPATCH 0
+#endif
 
 namespace waran::wasm {
+
+/// Interpreter dispatch strategy. kDefault resolves to threaded
+/// (computed-goto) when the toolchain supports it, else the switch loop;
+/// kSwitch forces the portable loop — differential tests use it as the
+/// oracle against the threaded hot path. Both execute the same micro-op
+/// stream, so semantics (results, traps, fuel, stats) are identical.
+enum class Dispatch : uint8_t { kDefault = 0, kThreaded, kSwitch };
 
 struct InstanceOptions {
   /// Opaque pointer surfaced to host functions via HostContext::user_data.
@@ -31,6 +52,7 @@ struct InstanceOptions {
   /// interpreter state, not native stack, so this can be raised into the
   /// tens of thousands without risking the host stack.
   uint32_t max_call_depth = 256;
+  Dispatch dispatch = Dispatch::kDefault;
 };
 
 /// Per-call execution policy, threaded from the embedder (PluginManager,
@@ -67,7 +89,9 @@ class Instance {
   /// Resolves imports against `linker`, allocates memory/table, evaluates
   /// global initializers, applies data/element segments (bounds-checked,
   /// failing instantiation on overflow per spec), then runs the start
-  /// function. The module must already be validated.
+  /// function. The module must already be validated. Uses the module's
+  /// attached translation (Module::translated) when present, else lowers
+  /// the bodies here.
   static Result<std::unique_ptr<Instance>> instantiate(
       std::shared_ptr<const Module> module, const Linker& linker,
       const InstanceOptions& options = {});
@@ -112,6 +136,9 @@ class Instance {
   const Module& module() const { return *module_; }
   void* user_data() const { return user_data_; }
 
+  /// The dispatch strategy actually in use (kDefault resolved).
+  Dispatch dispatch() const { return dispatch_; }
+
   std::optional<uint32_t> find_export(std::string_view name, ImportKind kind) const;
 
   Value global(uint32_t index) const { return globals_[index]; }
@@ -119,45 +146,43 @@ class Instance {
  private:
   Instance() = default;
 
-  /// Reusable interpreter state: one value stack, one label stack, one
-  /// explicit call-frame stack and one locals arena shared by every call on
-  /// this instance (including re-entrant host->wasm calls, which nest on
-  /// the same stacks). All vectors keep their capacity between calls, so a
-  /// warm call allocates nothing.
+  /// Reusable interpreter state: one operand-value arena, one explicit
+  /// call-frame stack and one locals arena shared by every call on this
+  /// instance (including re-entrant host->wasm calls, which nest on the
+  /// same stacks). The arenas only ever grow, so a warm call allocates
+  /// nothing. The operand arena is oversized: each frame reserves
+  /// stack_base + max_stack cells at entry and the hot loop then runs a raw
+  /// Value* with no bounds checks; `top` is the live height, maintained
+  /// only at suspension points (calls, host trampolines, returns).
   struct ExecContext {
-    struct Label {
-      uint32_t cont;    // pc to jump to when branching to this label
-      uint32_t height;  // value-stack height to unwind to
-      uint8_t arity;    // values carried across the branch
-    };
     struct Frame {
-      const Code* code;     // callee body (never a host function)
-      uint32_t pc;          // resume point (next instruction to execute)
-      uint32_t func_index;  // for signature lookups
-      uint32_t locals_base; // offset of this frame's locals in the arena
-      uint32_t stack_base;  // value-stack height at entry (args consumed)
-      uint32_t label_base;  // label-stack height at entry
+      const TranslatedFunc* tf;
+      uint32_t ip;           // resume point (micro-op index)
+      uint32_t func_index;   // for diagnostics / signature lookups
+      uint32_t locals_base;  // offset of this frame's locals in the arena
+      uint32_t stack_base;   // operand height at entry (args consumed)
       uint8_t result_arity;
     };
-    std::vector<Value> values;
-    std::vector<Label> labels;
+    std::vector<Value> values;  // operand arena; live region is [0, top)
+    uint32_t top = 0;
     std::vector<Frame> frames;
-    std::vector<Value> locals;   // arena: frame locals live at [locals_base, ...)
-    uint32_t peak_frames = 0;    // high-water mark for the current call
+    std::vector<Value> locals;  // arena: frame locals live at [locals_base, ...)
+    uint32_t peak_frames = 0;   // high-water mark for the current call
   };
 
   /// Runs `func_index` with `args`, iterating frames until the call that
   /// pushed `base_frames` returns. Never recurses for wasm->wasm calls;
   /// host functions may re-enter via Instance::call, nesting on exec_.
   Status invoke(uint32_t func_index, std::span<const Value> args, Value* result);
-  Status run(size_t base_frames, Value* result, uint8_t result_arity);
+  Status run(size_t base_frames, Value* result);
+  // The two dispatcher bodies, generated from wasm/interp_loop.inc.
+  Status run_switch(size_t base_frames, Value* result);
+  Status run_threaded(size_t base_frames, Value* result);
   Status push_frame(uint32_t func_index);
   Status invoke_host(uint32_t import_index, std::span<const Value> args, Value* result);
-  /// Charges fuel and retires instructions for the straight-line segment
-  /// starting at `pc` (no-op at function exit), and polls the deadline.
-  Status charge(const Code& code, uint32_t pc);
 
   std::shared_ptr<const Module> module_;
+  std::shared_ptr<const TranslatedModule> translated_;
   std::optional<Memory> memory_;
   std::vector<Value> globals_;                 // defined globals only (no global imports)
   std::vector<uint32_t> table_;                // func indices; kNullFuncRef = null
@@ -169,6 +194,7 @@ class Instance {
   ExecContext exec_;
   void* user_data_ = nullptr;
   uint32_t max_call_depth_ = 256;
+  Dispatch dispatch_ = Dispatch::kSwitch;
 
   bool fuel_enabled_ = false;
   uint64_t fuel_ = 0;
@@ -176,8 +202,14 @@ class Instance {
 
   bool deadline_armed_ = false;
   std::chrono::steady_clock::time_point deadline_;
-  uint32_t charge_ticks_ = 0;
+  /// Charge-point countdown to the next deadline poll. While a deadline is
+  /// armed it cycles every kDeadlinePollStride charges; unarmed it idles at
+  /// kIdlePollStride so the hot path is a single predictable dec-and-test
+  /// that never touches the clock.
+  uint32_t poll_countdown_ = 1u << 30;
 
+  static constexpr uint32_t kDeadlinePollStride = 64;
+  static constexpr uint32_t kIdlePollStride = 1u << 30;
   static constexpr uint32_t kNullFuncRef = UINT32_MAX;
 };
 

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <variant>
@@ -14,6 +15,8 @@
 #include "wasm/types.h"
 
 namespace waran::wasm {
+
+struct TranslatedModule;  // wasm/translate.h
 
 /// Block type of a block/loop/if: either empty or a single value type
 /// (MVP structured-control typing; function-typed blocks are rejected).
@@ -101,6 +104,11 @@ struct Code {
   std::vector<ValType> locals;  // does not include parameters
   std::vector<Instr> body;      // terminated by kEnd
   std::vector<BrTable> br_tables;
+  /// Maximum operand-stack height this body can reach, recorded by the
+  /// validator's type-checking pass. The translated interpreter reserves
+  /// this once at frame entry and runs a raw stack pointer with no per-push
+  /// capacity checks.
+  uint32_t max_stack = 0;
 };
 
 enum class ImportKind : uint8_t { kFunc = 0, kTable = 1, kMemory = 2, kGlobal = 3 };
@@ -170,6 +178,12 @@ struct Module {
   std::vector<ElemSegment> elems;
   std::vector<Code> codes;
   std::vector<DataSegment> datas;
+
+  /// Execution-oriented lowering of every function body (wasm/translate.h),
+  /// attached by translate_module() after validation so all instances share
+  /// one micro-op stream; Instance::instantiate translates on the fly when
+  /// this is absent.
+  std::shared_ptr<const TranslatedModule> translated;
 
   // --- Import index spaces, precomputed by the decoder (imports precede
   // definitions in every index space). ---

@@ -27,6 +27,11 @@ class BodyChecker {
 
   Status run();
 
+  /// High-water mark of the operand stack, valid after run(). Recorded so
+  /// the translated interpreter can reserve the whole operand stack once at
+  /// frame entry (Code::max_stack).
+  uint32_t max_stack() const { return max_stack_; }
+
  private:
   struct CtrlFrame {
     Op opcode;
@@ -44,6 +49,7 @@ class BodyChecker {
   std::vector<OptType> vals_;
   std::vector<CtrlFrame> ctrls_;
   uint32_t pc_ = 0;
+  uint32_t max_stack_ = 0;
 
   Error err(const std::string& msg) const {
     return Error::validation(at(func_index_, pc_, msg));
@@ -170,6 +176,7 @@ Status BodyChecker::run() {
   push_ctrl(Op::kBlock, results_);
   for (pc_ = 0; pc_ < code_.body.size(); ++pc_) {
     WARAN_CHECK_OK(check_instr(code_.body[pc_]));
+    if (vals_.size() > max_stack_) max_stack_ = static_cast<uint32_t>(vals_.size());
   }
   if (!ctrls_.empty()) return err("function body not closed");
   return {};
@@ -489,7 +496,7 @@ Status check_const_expr(const Module& m, const ConstExpr& e, ValType expect,
 
 }  // namespace
 
-Status validate_module(const Module& m) {
+Status validate_module(Module& m) {
   // Imported + declared type indices.
   for (uint32_t ti : m.imported_func_types) {
     if (ti >= m.types.size()) return Error::validation("import: type index out of range");
@@ -559,6 +566,7 @@ Status validate_module(const Module& m) {
   for (uint32_t i = 0; i < m.codes.size(); ++i) {
     BodyChecker checker(m, m.num_imported_funcs + i, m.codes[i]);
     WARAN_CHECK_OK(checker.run());
+    m.codes[i].max_stack = checker.max_stack();
   }
   return {};
 }

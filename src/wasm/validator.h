@@ -11,7 +11,10 @@
 namespace waran::wasm {
 
 /// Validates the whole module (types, imports, functions, globals, exports,
-/// segments, and every function body). Returns the first error found.
-Status validate_module(const Module& m);
+/// segments, and every function body). Returns the first error found. As a
+/// side effect of type-checking, records each body's operand-stack
+/// high-water mark into Code::max_stack, which the translation pass
+/// (wasm/translate.h) uses to pre-size the interpreter's raw operand stack.
+Status validate_module(Module& m);
 
 }  // namespace waran::wasm

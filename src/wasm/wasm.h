@@ -3,6 +3,7 @@
 // Typical embedder flow:
 //   auto module = waran::wasm::decode_module(bytes);        // bytes -> IR
 //   waran::wasm::validate_module(*module);                  // type check
+//   waran::wasm::translate_module(*module);                 // micro-op lowering
 //   auto inst = waran::wasm::Instance::instantiate(...);    // link + alloc
 //   inst->set_fuel(budget);
 //   auto r = inst->call("run", args);                        // trap-safe
@@ -14,5 +15,6 @@
 #include "wasm/memory.h"      // IWYU pragma: export
 #include "wasm/module.h"      // IWYU pragma: export
 #include "wasm/opcode.h"      // IWYU pragma: export
+#include "wasm/translate.h"   // IWYU pragma: export
 #include "wasm/types.h"       // IWYU pragma: export
 #include "wasm/validator.h"   // IWYU pragma: export

@@ -2,6 +2,10 @@
 // stable opcode naming, and usability on the real plugin corpus.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
 #include "sched/plugins.h"
 #include "tests/wasm_test_util.h"
 #include "wasm/disasm.h"
@@ -92,6 +96,70 @@ TEST(Disasm, WholePluginCorpusDisassembles) {
               std::count(text.begin(), text.end(), ')'))
         << kind;
   }
+}
+
+// Round-trip smoke test for the micro-op listing: every resolved branch
+// target printed by disassemble_translated must land inside the stream it
+// was printed from, fused superinstructions show up on the real scheduler
+// corpus, and every line of control flow carries its baked fuel charge.
+TEST(Disasm, TranslatedStreamRoundTrips) {
+  for (const char* kind : {"rr", "pf", "mt"}) {
+    auto bytes = sched::plugins::scheduler(kind);
+    ASSERT_TRUE(bytes.ok());
+    auto module = wasm::decode_module(*bytes);
+    ASSERT_TRUE(module.ok());
+    ASSERT_TRUE(wasm::validate_module(*module).ok());
+    ASSERT_TRUE(wasm::translate_module(*module).ok());
+    ASSERT_TRUE(module->translated);
+
+    bool any_fused = false;
+    for (uint32_t i = 0; i < module->codes.size(); ++i) {
+      const size_t num_ops = module->translated->funcs[i].ops.size();
+      std::string text = wasm::disassemble_translated(*module, i);
+      ASSERT_GT(num_ops, 0u) << kind << " func " << i;
+      // Header + one line per micro-op.
+      EXPECT_EQ(static_cast<size_t>(std::count(text.begin(), text.end(), '\n')),
+                num_ops + 1)
+          << kind << " func " << i << "\n"
+          << text;
+      // Every resolved target must point inside this stream.
+      for (size_t pos = text.find("-> @"); pos != std::string::npos;
+           pos = text.find("-> @", pos + 4)) {
+        size_t digits = pos + 4;
+        if (text.compare(digits, 3, "ret") == 0) continue;
+        ASSERT_LT(digits, text.size());
+        ASSERT_TRUE(std::isdigit(static_cast<unsigned char>(text[digits]))) << text;
+        EXPECT_LT(std::strtoul(text.c_str() + digits, nullptr, 10), num_ops)
+            << kind << " func " << i << "\n"
+            << text;
+      }
+      // Fuel segments are baked into the stream, not recomputed at run time.
+      EXPECT_NE(text.find("charge="), std::string::npos)
+          << kind << " func " << i << "\n"
+          << text;
+      if (text.find("LCAdd") != std::string::npos ||
+          text.find("LL") != std::string::npos ||
+          text.find("BrIfL") != std::string::npos) {
+        any_fused = true;
+      }
+    }
+    EXPECT_TRUE(any_fused) << kind << ": no fused superinstructions in corpus";
+  }
+}
+
+TEST(Disasm, TranslatedStreamWithoutAttachedTranslation) {
+  ModuleBuilder mb;
+  auto& f = mb.add_func(FuncType{{ValType::kI32}, {ValType::kI32}}, "f");
+  f.local_get(0).i32_const(7).op(Op::kI32Add).end();
+  auto bytes = mb.build();
+  auto module = wasm::decode_module(bytes);
+  ASSERT_TRUE(module.ok());
+  ASSERT_TRUE(wasm::validate_module(*module).ok());
+  // No translate_module call: the disassembler lowers on the fly.
+  std::string text = wasm::disassemble_translated(*module, 0);
+  EXPECT_NE(text.find("uops"), std::string::npos) << text;
+  EXPECT_NE(text.find("charge="), std::string::npos) << text;
+  EXPECT_NE(text.find("LCAddI32 l0, 7"), std::string::npos) << text;
 }
 
 TEST(Disasm, BrTableTargetsListed) {
