@@ -10,74 +10,20 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <new>
 
+#include "bench/bench_util.h"
 #include "common/tracked_alloc.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "tests/heap_probe_guard.h"
 #include "wasm/wasm.h"
 #include "wcc/compiler.h"
-
-// Route this binary's heap traffic through the common/tracked_alloc probe
-// (same pattern as abl_engine) so the zero-allocation assertion counts
-// actual operator-new calls. GCC flags the malloc-backed operator delete
-// as a new/free mismatch; the pairing is consistent, so silence it.
-
-#if defined(__GNUC__) && !defined(__clang__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
-#endif
-
-void* operator new(std::size_t n) {
-  waran::heap_probe::note_alloc(n);
-  void* p = std::malloc(n);
-  if (p == nullptr) throw std::bad_alloc();
-  return p;
-}
-void* operator new[](std::size_t n) {
-  waran::heap_probe::note_alloc(n);
-  void* p = std::malloc(n);
-  if (p == nullptr) throw std::bad_alloc();
-  return p;
-}
-void operator delete(void* p) noexcept {
-  waran::heap_probe::note_free();
-  std::free(p);
-}
-void operator delete(void* p, std::size_t) noexcept {
-  waran::heap_probe::note_free();
-  std::free(p);
-}
-void operator delete[](void* p) noexcept {
-  waran::heap_probe::note_free();
-  std::free(p);
-}
-void operator delete[](void* p, std::size_t) noexcept {
-  waran::heap_probe::note_free();
-  std::free(p);
-}
-
-#if defined(__GNUC__) && !defined(__clang__)
-#pragma GCC diagnostic pop
-#endif
 
 namespace {
 
 using namespace waran;
+using bench::instantiate_w;
 using wasm::TypedValue;
-
-std::unique_ptr<wasm::Instance> instantiate_w(const char* src,
-                                              const wasm::Linker& linker = {}) {
-  auto bytes = wcc::compile(src);
-  if (!bytes.ok()) std::abort();
-  auto module = wasm::decode_module(*bytes);
-  if (!module.ok()) std::abort();
-  if (!wasm::validate_module(*module).ok()) std::abort();
-  auto inst = wasm::Instance::instantiate(
-      std::make_shared<wasm::Module>(std::move(*module)), linker);
-  if (!inst.ok()) std::abort();
-  return std::move(*inst);
-}
 
 // A scheduler-shaped workload: a compute loop plus ABI host calls, so both
 // instrumented crossings (Instance::call span, host trampoline spans) sit

@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 
@@ -13,8 +14,25 @@
 #include "ran/mac.h"
 #include "sched/plugins.h"
 #include "sched/wasm_sched.h"
+#include "wasm/wasm.h"
+#include "wcc/compiler.h"
 
 namespace waran::bench {
+
+/// Compiles W source and instantiates it (decode -> validate -> link),
+/// aborting the bench on any failure.
+inline std::unique_ptr<wasm::Instance> instantiate_w(const char* src,
+                                                     const wasm::Linker& linker = {}) {
+  auto bytes = wcc::compile(src);
+  if (!bytes.ok()) std::abort();
+  auto module = wasm::decode_module(*bytes);
+  if (!module.ok()) std::abort();
+  if (!wasm::validate_module(*module).ok()) std::abort();
+  auto inst = wasm::Instance::instantiate(
+      std::make_shared<wasm::Module>(std::move(*module)), linker);
+  if (!inst.ok()) std::abort();
+  return std::move(*inst);
+}
 
 inline double now_us() {
   return std::chrono::duration<double, std::micro>(

@@ -101,15 +101,16 @@ int main() {
               target_mac.ue_rntis().size());
 
   std::printf("\n== Adversary floods the RIC with corrupted frames ==\n");
-  link.set_tap([](std::vector<uint8_t>& frame, bool&) {
+  link.add_fault_stage([](std::vector<uint8_t>& frame, ric::Duplex::Side) {
     if (frame.size() > 14) frame[14] ^= 0x5a;  // corrupt every frame
+    return ric::Duplex::Fault{ric::Duplex::FaultAction::kCorrupt};
   });
   for (int i = 0; i < 20; ++i) {
     if (!cell0.mac->run_slots(10).ok()) return 1;
     if (!cell0.agent->send_indication().ok()) return 1;
     if (!ric.poll().ok()) return 1;
   }
-  link.set_tap(nullptr);
+  link.clear_fault_stages();
   std::printf("frames rejected inside the RIC's comm-plugin sandbox: %llu "
               "(host parser untouched)\n",
               static_cast<unsigned long long>(ric.stats().frames_rejected));

@@ -1,0 +1,508 @@
+#include "chaos/harness.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <set>
+#include <utility>
+
+#include "common/tracked_alloc.h"
+#include "obs/anomaly.h"
+#include "obs/metrics.h"
+#include "plugin/manager.h"
+#include "plugin/plugin.h"
+#include "ran/mac.h"
+#include "ric/gnb_agent.h"
+#include "ric/near_rt_ric.h"
+#include "ric/plugin_sources.h"
+#include "ric/quota_inter.h"
+#include "ric/transport.h"
+#include "sched/plugins.h"
+#include "sched/wasm_sched.h"
+#include "wcc/compiler.h"
+
+namespace waran::chaos {
+
+namespace {
+
+// The grower exercises the spec-conformant growth-denial path: a denied
+// memory.grow answers -1 and the plugin must carry on, reporting the denial
+// through its output instead of trapping.
+constexpr char kGrowerSource[] = R"W(
+export fn tick() -> i32 {
+  var got: i32 = memory_grow(1);
+  var denied: i32 = 0;
+  if (got < 0) {
+    denied = 1;
+  }
+  store32(64, denied);
+  output_write(64, 4);
+  return 0;
+}
+)W";
+
+// Pure-arithmetic workload for the warm-call probe: no ABI imports, so a
+// direct Instance::call must not touch the host heap once warm.
+constexpr char kProbeSource[] = R"W(
+export fn work() -> i32 {
+  var i: i32 = 0;
+  var acc: i32 = 0;
+  while (i < 48) {
+    acc = acc + i * 3;
+    i = i + 1;
+  }
+  return acc;
+}
+)W";
+
+/// Decorator around a slice's real (Wasm) scheduler that injects
+/// output-level faults on the plan's schedule: forged grants the host must
+/// sanitize, empty allocation lists, and outright errors that force the
+/// MAC's host-side fallback.
+class ChaosIntraScheduler final : public ran::IntraSliceScheduler {
+ public:
+  ChaosIntraScheduler(std::unique_ptr<ran::IntraSliceScheduler> inner, FaultPlan& plan,
+                      uint32_t slice_id)
+      : inner_(std::move(inner)),
+        plan_(plan),
+        site_("slice " + std::to_string(slice_id)),
+        name_(std::string("chaos:") + inner_->name()) {}
+
+  Result<codec::SchedResponse> schedule(const codec::SchedRequest& req) override {
+    std::optional<FaultKind> fault = plan_.draw_sched();
+    if (!fault) return inner_->schedule(req);
+    switch (*fault) {
+      case FaultKind::kSchedEmpty:
+        plan_.note_applied(FaultKind::kSchedEmpty, site_);
+        return codec::SchedResponse{};
+      case FaultKind::kSchedError:
+        plan_.note_applied(FaultKind::kSchedError, site_);
+        return Error::internal("chaos: injected scheduler error");
+      default: {
+        // Garbage rides on a successful inner decision; if the sandbox
+        // crossing itself faulted (a call-site injection won the race) the
+        // garbage is not applied and not counted.
+        auto resp = inner_->schedule(req);
+        if (!resp.ok()) return resp;
+        plan_.note_applied(FaultKind::kSchedGarbage, site_);
+        codec::SchedResponse out;
+        out.allocs.push_back(codec::SchedAlloc{0x1, 1});  // foreign RNTI
+        out.allocs.insert(out.allocs.end(), resp->allocs.begin(), resp->allocs.end());
+        return out;
+      }
+    }
+  }
+
+  const char* name() const override { return name_.c_str(); }
+
+ private:
+  std::unique_ptr<ran::IntraSliceScheduler> inner_;
+  FaultPlan& plan_;
+  std::string site_;
+  std::string name_;
+};
+
+struct Mvno {
+  uint32_t slice_id;
+  const char* name;
+  const char* policy;
+  double target_bps;
+};
+
+constexpr Mvno kMvnos[] = {
+    {1, "iot-co", "rr", 4e6},
+    {2, "stream-co", "mt", 14e6},
+    {3, "fair-co", "pf", 10e6},
+};
+
+}  // namespace
+
+EpisodeReport run_episode(const EpisodeOptions& options) {
+  EpisodeReport rep;
+  rep.seed = options.seed;
+
+  auto expect = [&rep](bool ok, std::string what) {
+    if (!ok) rep.violations.push_back(std::move(what));
+  };
+  auto tolerate = [&rep](const Status& st) {
+    if (!st.ok()) ++rep.contained_errors;
+  };
+
+  auto& journal = obs::AnomalyJournal::global();
+  journal.set_capacity(1 << 16);
+  journal.clear();
+  auto& reg = obs::MetricsRegistry::global();
+  reg.reset_values();
+
+  FaultPlan plan(options.seed, options.plan);
+
+  // --- Scenario: 3 MVNO slices, gNB agent <-> RIC over one Duplex --------
+  // The slot budget is set to one full second: a real slot takes
+  // microseconds even under sanitizers, so every kSlotOverrun anomaly in
+  // this episode is an injected one.
+  ran::MacConfig cfg;
+  cfg.slot_us = 1'000'000;
+  ran::GnbMac mac(cfg);
+  auto quotas_owned = std::make_unique<ric::QuotaTableInterScheduler>();
+  ric::QuotaTableInterScheduler* quotas = quotas_owned.get();
+  mac.set_inter_scheduler(std::move(quotas_owned));
+
+  plugin::PluginManager mgr;
+  mgr.set_domain("mac");
+
+  for (const Mvno& m : kMvnos) {
+    auto bytes = sched::plugins::scheduler(m.policy);
+    if (!bytes.ok() || !mgr.install(m.name, *bytes).ok()) {
+      expect(false, std::string("failed to onboard scheduler plugin ") + m.name);
+      return rep;
+    }
+    ran::SliceConfig slice;
+    slice.slice_id = m.slice_id;
+    slice.name = m.name;
+    slice.target_rate_bps = m.target_bps;
+    mac.add_slice(slice, std::make_unique<ChaosIntraScheduler>(
+                             std::make_unique<sched::WasmIntraScheduler>(mgr, m.name),
+                             plan, m.slice_id));
+    quotas->set_quota(m.slice_id, 12);
+    for (int u = 0; u < 2; ++u) {
+      ran::Channel::FadingParams fading;
+      fading.mean_snr_db = 14.0 + 2.5 * u;
+      mac.add_ue(m.slice_id, ran::Channel::fading(fading, m.slice_id * 100 + u),
+                 ran::TrafficSource::full_buffer());
+    }
+  }
+
+  auto grower_bytes = wcc::compile(kGrowerSource);
+  if (!grower_bytes.ok() || !mgr.install("grower", *grower_bytes).ok()) {
+    expect(false, "failed to install grower plugin");
+    return rep;
+  }
+
+  ric::Duplex link;
+  ric::GnbAgent agent(0, mac, quotas, link, ric::Duplex::Side::kA);
+  ric::NearRtRic ric(link, ric::Duplex::Side::kB);
+  auto comm = ric::plugin_sources::comm_framing();
+  auto ctl = ric::plugin_sources::control_dispatch();
+  auto sla = ric::plugin_sources::sla_xapp();
+  if (!comm.ok() || !ctl.ok() || !sla.ok() || !agent.load_comm_plugin(*comm).ok() ||
+      !agent.load_control_plugin(*ctl).ok() || !ric.load_comm_plugin(*comm).ok() ||
+      !ric.add_xapp("sla", *sla).ok()) {
+    expect(false, "failed to wire the E2 loop");
+    return rep;
+  }
+
+  // --- Chaos hooks --------------------------------------------------------
+  // Call-site injections are restricted to slots whose failures the host
+  // contains without secondary effects: the slice schedulers (MAC falls
+  // back to host RR), the control dispatcher (frame is rejected) and the
+  // xApp (RIC skips it). The comm slots stay clean — failing them would
+  // double-count (a comm trap plus the resulting frame rejection) — and so
+  // do grower (its fault site is memory.grow) and the probe.
+  auto make_interceptor = [&plan](std::string domain, std::set<std::string> eligible,
+                                  bool allow_deadline) {
+    return [&plan, domain = std::move(domain), eligible = std::move(eligible),
+            allow_deadline](const std::string& slot,
+                            const std::string&) -> plugin::PluginManager::CallIntercept {
+      plugin::PluginManager::CallIntercept out;
+      if (!eligible.contains(slot)) return out;
+      auto fault = plan.draw_call(domain, slot, allow_deadline);
+      if (!fault) return out;
+      switch (fault->kind) {
+        case FaultKind::kFuelStarve:
+          out.fuel = 1;  // first block charge exhausts: real engine trap
+          break;
+        case FaultKind::kDeadlineOverrun:
+          // 1 ns deadline, with a small fuel backstop in case the call
+          // retires fewer instructions than the deadline poll stride —
+          // either way the engine reports genuine exhaustion.
+          out.deadline_ns = 1;
+          out.fuel = 24;
+          break;
+        default:
+          out.fail = Error::trap("chaos: injected trap");
+          break;
+      }
+      return out;
+    };
+  };
+  mgr.set_call_interceptor(
+      make_interceptor("mac", {"iot-co", "stream-co", "fair-co"}, /*allow_deadline=*/true));
+  agent.plugins().set_call_interceptor(
+      make_interceptor(agent.plugins().domain(), {"ctl"}, /*allow_deadline=*/false));
+  ric.plugins().set_call_interceptor(
+      make_interceptor("ric", {"xapp:sla"}, /*allow_deadline=*/false));
+
+  bool fail_next_load = false;
+  mgr.set_load_interceptor([&fail_next_load](const std::string&) -> std::optional<Error> {
+    if (!fail_next_load) return std::nullopt;
+    fail_next_load = false;
+    return Error::validation("chaos: injected load failure");
+  });
+
+  const uint64_t budget_ns = static_cast<uint64_t>(cfg.slot_us) * 1000;
+  mac.set_slot_time_padding([&plan, &mac, budget_ns]() -> uint64_t {
+    return plan.draw_slot_overrun(mac.slot()) ? budget_ns + 1'000'000 : 0;
+  });
+
+  link.add_fault_stage([&plan](std::vector<uint8_t>& frame,
+                               ric::Duplex::Side) -> ric::Duplex::Fault {
+    auto fault = plan.draw_link();
+    if (!fault) return {};
+    switch (fault->kind) {
+      case FaultKind::kLinkCorrupt: {
+        // Flip one payload bit (past the 12-byte magic/len/checksum
+        // header) so the sandboxed unframe rejects on checksum — never a
+        // wild length that could send the plugin reading out of bounds.
+        size_t lo = frame.size() > 12 ? 12 : 0;
+        size_t off = lo + fault->entropy % (frame.size() - lo);
+        frame[off] ^= static_cast<uint8_t>(1u << ((fault->entropy >> 32) % 8));
+        return {ric::Duplex::FaultAction::kCorrupt};
+      }
+      case FaultKind::kLinkDrop:
+        return {ric::Duplex::FaultAction::kDrop};
+      case FaultKind::kLinkDuplicate:
+        return {ric::Duplex::FaultAction::kDuplicate};
+      default:
+        return {ric::Duplex::FaultAction::kReorder,
+                static_cast<uint32_t>(1 + fault->entropy % 3)};
+    }
+  });
+
+  const std::array<plugin::PluginManager*, 3> managers = {&mgr, &agent.plugins(),
+                                                          &ric.plugins()};
+
+  // --- Episode loop -------------------------------------------------------
+  for (uint32_t round = 0; round < options.rounds; ++round) {
+    Status st = mac.run_slots(options.slots_per_round);
+    if (!st.ok()) {
+      expect(false, "mac.run_slots failed (host misconfiguration): " + st.error().message);
+      break;
+    }
+    rep.slots += options.slots_per_round;
+
+    // Growth-denial site: the grower must survive a denied grow gracefully.
+    {
+      plugin::Plugin* grower = mgr.plugin("grower");
+      wasm::Memory* mem = grower != nullptr ? grower->instance().memory() : nullptr;
+      if (mem != nullptr && plan.draw_grow_denial()) mem->set_grow_denial_after(0);
+      auto r = mgr.call("grower", "tick", {});
+      expect(r.ok(), "grower did not survive a denied memory.grow: " +
+                         (r.ok() ? std::string() : r.error().message));
+      if (mem != nullptr) mem->set_grow_denial_after(std::nullopt);
+    }
+
+    // Hot-swap site, rotating over the scheduler slots. A slot mid-storm
+    // is skipped: a successful swap clears the consecutive-fault count and
+    // would defuse the storm's deterministic quarantine.
+    {
+      const Mvno& m = kMvnos[round % 3];
+      if (!plan.storm_active("mac", m.name)) {
+        bool fail = plan.draw_load_failure(m.name);
+        fail_next_load = fail;
+        auto bytes = sched::plugins::scheduler(m.policy);
+        if (bytes.ok()) {
+          Status sw = mgr.swap(m.name, *bytes);
+          expect(sw.ok() != fail, fail ? "injected load failure did not fail the swap"
+                                       : "clean hot swap failed: " + sw.error().message);
+          expect(mgr.plugin(m.name) != nullptr, "swap left the slot without a plugin");
+        }
+        fail_next_load = false;
+      }
+    }
+
+    tolerate(agent.send_indication());
+    tolerate(ric.poll());
+    tolerate(agent.poll());
+
+    // Lift quarantines (operator intervention) so every round starts with
+    // live slots; only latched slots are touched, so in-flight fault
+    // sequences keep their consecutive counts.
+    for (plugin::PluginManager* m : managers) {
+      for (const std::string& s : m->slot_names()) {
+        const plugin::SlotHealth* h = m->health(s);
+        if (h != nullptr && h->quarantined) (void)m->reset_quarantine(s);
+      }
+    }
+  }
+
+  // --- Drain: stop injecting, land everything in flight -------------------
+  plan.set_active(false);
+  link.flush_delayed();
+  tolerate(ric.poll());
+  tolerate(agent.poll());
+  mac.set_slot_time_padding(nullptr);
+
+  // --- Warm-call probe ----------------------------------------------------
+  if (options.warm_path_probe) {
+    auto probe_bytes = wcc::compile(kProbeSource);
+    auto probe = probe_bytes.ok() ? plugin::Plugin::load(*probe_bytes)
+                                  : Result<std::unique_ptr<plugin::Plugin>>(
+                                        Error::internal("probe compile failed"));
+    expect(probe.ok(), "warm-path probe plugin failed to load");
+    if (probe.ok()) {
+      wasm::CallOptions copts;
+      copts.fuel = 100'000;
+      wasm::CallStats cstats;
+      bool ok = true;
+      for (int i = 0; i < 4; ++i) {
+        ok = ok && (*probe)->instance().call("work", {}, copts, &cstats).ok();
+      }
+      const uint64_t before = heap_probe::allocations();
+      for (int i = 0; i < 64; ++i) {
+        ok = ok && (*probe)->instance().call("work", {}, copts, &cstats).ok();
+      }
+      rep.warm_heap_allocs = heap_probe::allocations() - before;
+      expect(ok, "warm-path probe call failed");
+      expect(rep.warm_heap_allocs == 0,
+             "warm Instance::call touched the heap " +
+                 std::to_string(rep.warm_heap_allocs) + " time(s)");
+    }
+  }
+
+  // --- Invariants ---------------------------------------------------------
+  auto snapshot = journal.snapshot();
+  rep.anomalies = journal.total();
+  rep.injections = plan.total();
+  for (size_t k = 0; k < kFaultKindCount; ++k) {
+    rep.injected_by_kind[k] = plan.count(static_cast<FaultKind>(k));
+  }
+  rep.injection_log = plan.log();
+
+  expect(snapshot.size() == journal.total(), "anomaly journal overflowed its capacity");
+
+  std::map<obs::AnomalyKind, uint64_t> by_kind;
+  uint64_t mac_sanitized = 0;
+  for (const auto& r : snapshot) {
+    ++by_kind[r.kind];
+    if (r.kind == obs::AnomalyKind::kSanitized && r.domain == "mac") ++mac_sanitized;
+  }
+  auto eq = [&expect](uint64_t got, uint64_t want, const char* what) {
+    expect(got == want, std::string(what) + ": got " + std::to_string(got) + ", want " +
+                            std::to_string(want));
+  };
+
+  // 1:1 fault -> anomaly accounting, kind by kind.
+  eq(by_kind[obs::AnomalyKind::kTrap], plan.count(FaultKind::kForceTrap),
+     "kTrap anomalies vs injected traps");
+  eq(by_kind[obs::AnomalyKind::kFuelExhausted],
+     plan.count(FaultKind::kFuelStarve) + plan.count(FaultKind::kDeadlineOverrun),
+     "kFuelExhausted anomalies vs injected starvations");
+  eq(by_kind[obs::AnomalyKind::kQuarantine], plan.count(FaultKind::kQuarantineStorm),
+     "kQuarantine anomalies vs completed storms");
+  eq(by_kind[obs::AnomalyKind::kLoadFailed], plan.count(FaultKind::kLoadFailure),
+     "kLoadFailed anomalies vs injected load failures");
+  eq(by_kind[obs::AnomalyKind::kFrameRejected], plan.count(FaultKind::kLinkCorrupt),
+     "kFrameRejected anomalies vs corrupted frames");
+  eq(mac_sanitized, plan.count(FaultKind::kSchedGarbage),
+     "MAC kSanitized anomalies vs injected garbage responses");
+  eq(by_kind[obs::AnomalyKind::kSanitized], mac_sanitized,
+     "kSanitized anomalies outside the MAC (xApp output must stay clean)");
+  eq(by_kind[obs::AnomalyKind::kSlotOverrun], plan.count(FaultKind::kSlotOverrun),
+     "kSlotOverrun anomalies vs injected overruns");
+  eq(by_kind[obs::AnomalyKind::kDecline], 0, "unexpected kDecline anomalies");
+  eq(by_kind[obs::AnomalyKind::kOther], 0, "unexpected kOther anomalies");
+
+  // Spec-conformant growth denial: denied exactly as scheduled, no anomaly.
+  {
+    plugin::Plugin* grower = mgr.plugin("grower");
+    wasm::Memory* mem = grower != nullptr ? grower->instance().memory() : nullptr;
+    eq(mem != nullptr ? mem->denied_grows() : 0, plan.count(FaultKind::kGrowDenial),
+       "denied grows vs scheduled denials");
+  }
+
+  // Link conservation: every frame is delivered, dropped, or still held —
+  // and after the drain nothing is held or pending.
+  eq(link.frames_sent() + link.frames_duplicated(),
+     link.frames_delivered() + link.frames_dropped(), "link frame conservation");
+  eq(link.delayed_in_flight(), 0, "frames still held for reordering after drain");
+  eq(link.pending(ric::Duplex::Side::kA) + link.pending(ric::Duplex::Side::kB), 0,
+     "frames still queued after drain");
+  eq(link.frames_corrupted(), plan.count(FaultKind::kLinkCorrupt),
+     "link corruption counter vs plan");
+  eq(link.frames_dropped(), plan.count(FaultKind::kLinkDrop), "link drop counter vs plan");
+  eq(link.frames_duplicated(), plan.count(FaultKind::kLinkDuplicate),
+     "link duplicate counter vs plan");
+  eq(link.frames_reordered(), plan.count(FaultKind::kLinkReorder),
+     "link reorder counter vs plan");
+
+  // PRB conservation: grants never exceed carrier capacity.
+  {
+    uint64_t granted = 0;
+    for (const Mvno& m : kMvnos) {
+      std::string sid = std::to_string(m.slice_id);
+      granted += reg.counter("waran_mac_prb_granted_total", {{"slice", sid}}).value();
+    }
+    expect(granted <= static_cast<uint64_t>(cfg.n_prbs) * rep.slots,
+           "PRB conservation violated: " + std::to_string(granted) + " granted over " +
+               std::to_string(rep.slots) + " slots of " + std::to_string(cfg.n_prbs));
+  }
+  eq(reg.counter("waran_mac_slots_total").value(), rep.slots, "MAC slot counter");
+  eq(reg.counter("waran_mac_slot_overrun_total").value(),
+     plan.count(FaultKind::kSlotOverrun), "MAC slot-overrun counter vs plan");
+
+  // Cross-layer accounting balance: SlotHealth, CallCostAcc and the
+  // metrics registry must agree call for call, fault for fault.
+  uint64_t traps_sum = 0;
+  uint64_t fuel_sum = 0;
+  for (plugin::PluginManager* m : managers) {
+    for (const std::string& s : m->slot_names()) {
+      const plugin::SlotHealth* h = m->health(s);
+      const CallCostAcc* c = m->cost(s);
+      if (h == nullptr || c == nullptr) continue;
+      std::string where = m->domain() + "/" + s;
+      eq(c->calls(), h->calls, ("cost.calls vs health.calls for " + where).c_str());
+      eq(reg.counter("waran_plugin_calls_total", {{"domain", m->domain()}, {"slot", s}})
+             .value(),
+         h->calls, ("calls_total counter vs health for " + where).c_str());
+      eq(reg.counter("waran_plugin_traps_total", {{"domain", m->domain()}, {"slot", s}})
+             .value(),
+         h->traps, ("traps_total counter vs health for " + where).c_str());
+      eq(h->faults, h->traps + h->fuel_exhaustions,
+         ("fault breakdown for " + where).c_str());
+      traps_sum += h->traps;
+      fuel_sum += h->fuel_exhaustions;
+    }
+  }
+  // With only benign plugins in the scenario, every sandbox fault is an
+  // injected one.
+  eq(traps_sum, plan.count(FaultKind::kForceTrap), "summed slot traps vs injected traps");
+  eq(fuel_sum, plan.count(FaultKind::kFuelStarve) + plan.count(FaultKind::kDeadlineOverrun),
+     "summed fuel exhaustions vs injected starvations");
+
+  rep.passed = rep.violations.empty();
+  return rep;
+}
+
+CampaignReport run_campaign(uint64_t base_seed, uint32_t episodes,
+                            const EpisodeOptions& base) {
+  CampaignReport camp;
+  for (uint32_t i = 0; i < episodes; ++i) {
+    EpisodeOptions o = base;
+    o.seed = base_seed + i;
+    EpisodeReport rep = run_episode(o);
+    ++camp.episodes;
+    camp.injections += rep.injections;
+    camp.anomalies += rep.anomalies;
+    for (size_t k = 0; k < kFaultKindCount; ++k) {
+      camp.injected_by_kind[k] += rep.injected_by_kind[k];
+    }
+    if (!rep.passed) {
+      ++camp.failures;
+      camp.failed.push_back(std::move(rep));
+    }
+  }
+  return camp;
+}
+
+std::string summarize(const EpisodeReport& report) {
+  std::string s = "seed " + std::to_string(report.seed) + ": " +
+                  std::to_string(report.slots) + " slots, " +
+                  std::to_string(report.injections) + " injected, " +
+                  std::to_string(report.anomalies) + " anomalies, " +
+                  std::to_string(report.contained_errors) + " contained -> " +
+                  (report.passed ? "OK" : "FAIL");
+  for (const auto& v : report.violations) s += "\n  violation: " + v;
+  return s;
+}
+
+}  // namespace waran::chaos

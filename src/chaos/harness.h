@@ -1,0 +1,76 @@
+// waran::chaos episode harness — stands up the full WA-RAN closed loop
+// (three MVNO slices with Wasm schedulers on the gNB MAC, E2-lite agent,
+// Duplex link, near-RT RIC with the SLA xApp), threads one FaultPlan
+// through every chaos hook in the stack, runs the loop for a seeded
+// episode, and then audits the global invariants:
+//
+//   1. The host never crashes: every plugin/link/timing fault is contained
+//      to a Status the loop tolerates.
+//   2. Every injected fault surfaces as exactly one anomaly-journal entry
+//      of the matching kind (or is provably handled without one: denied
+//      grows, empty schedules, dropped frames).
+//   3. Conservation laws hold: PRB grants never exceed carrier capacity,
+//      and link frames balance (sent + duplicated == delivered + dropped).
+//   4. Per-slot accounting balances across layers: SlotHealth, CallCostAcc
+//      and the metrics registry agree call for call.
+//   5. The engine's warm call path stays allocation-free even while faults
+//      fire around it (measured via the heap probe when the embedding
+//      binary installs the counting operator new).
+//
+// The same seed always produces the same episode: `waran_chaos --seed S`
+// replays any CI failure bit-for-bit.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chaos/fault_plan.h"
+
+namespace waran::chaos {
+
+struct EpisodeOptions {
+  uint64_t seed = 1;
+  uint32_t rounds = 6;           ///< E2 report rounds per episode
+  uint32_t slots_per_round = 15; ///< MAC slots between indications
+  PlanConfig plan;
+  bool warm_path_probe = true;   ///< run the zero-alloc warm-call probe
+};
+
+struct EpisodeReport {
+  uint64_t seed = 0;
+  bool passed = false;
+  std::vector<std::string> violations;
+
+  uint64_t slots = 0;
+  uint64_t injections = 0;
+  uint64_t anomalies = 0;
+  uint64_t contained_errors = 0;  ///< non-fatal Status errors the loop absorbed
+  uint64_t warm_heap_allocs = 0;  ///< heap allocations during the warm probe
+  std::array<uint64_t, kFaultKindCount> injected_by_kind{};
+  std::vector<FaultPlan::Injection> injection_log;
+};
+
+/// Runs one seeded chaos episode against a fresh scenario and checks every
+/// invariant. Resets the global anomaly journal and metric values.
+EpisodeReport run_episode(const EpisodeOptions& options);
+
+struct CampaignReport {
+  uint32_t episodes = 0;
+  uint32_t failures = 0;
+  uint64_t injections = 0;
+  uint64_t anomalies = 0;
+  std::array<uint64_t, kFaultKindCount> injected_by_kind{};
+  std::vector<EpisodeReport> failed;  ///< reports of failing episodes only
+};
+
+/// Runs `episodes` consecutive episodes with seeds base_seed, base_seed+1,
+/// ... (so any failure replays via run_episode with that exact seed).
+CampaignReport run_campaign(uint64_t base_seed, uint32_t episodes,
+                            const EpisodeOptions& base = {});
+
+/// One-line human summary of an episode (seed, injections, verdict).
+std::string summarize(const EpisodeReport& report);
+
+}  // namespace waran::chaos

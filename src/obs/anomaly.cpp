@@ -14,6 +14,7 @@ const char* to_string(AnomalyKind kind) {
     case AnomalyKind::kSanitized: return "sanitized";
     case AnomalyKind::kFrameRejected: return "frame_rejected";
     case AnomalyKind::kSlotOverrun: return "slot_overrun";
+    case AnomalyKind::kLoadFailed: return "load_failed";
     case AnomalyKind::kOther: return "other";
   }
   return "other";

@@ -31,6 +31,7 @@ enum class AnomalyKind : uint8_t {
   kSanitized,       ///< invalid plugin output dropped/clamped by the host
   kFrameRejected,   ///< comm-plugin sanitization rejected a wire frame
   kSlotOverrun,     ///< MAC slot processing exceeded the slot duration
+  kLoadFailed,      ///< plugin install/swap refused (broken or injected)
   kOther,
 };
 

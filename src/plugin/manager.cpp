@@ -18,15 +18,38 @@ void PluginManager::bind_metrics(const std::string& slot_name, Slot& slot) {
   slot.m_wall_ns = &reg.histogram("waran_plugin_wall_ns", labels);
 }
 
+// Shared install/swap front half: consult the chaos load interceptor, then
+// decode/validate/instantiate. Any failure — injected or natural — is a
+// containment event worth journaling: a broken upload was refused before it
+// could touch a live slot.
+Result<std::shared_ptr<Plugin>> PluginManager::load_checked(
+    const std::string& slot, std::span<const uint8_t> module_bytes,
+    const wasm::Linker& extra_host) {
+  if (load_interceptor_) {
+    if (std::optional<Error> err = load_interceptor_(slot)) {
+      obs::AnomalyJournal::global().record(obs::AnomalyKind::kLoadFailed, domain_,
+                                           slot, err->message);
+      return *err;
+    }
+  }
+  auto loaded = Plugin::load(module_bytes, extra_host, default_limits_);
+  if (!loaded.ok()) {
+    obs::AnomalyJournal::global().record(obs::AnomalyKind::kLoadFailed, domain_,
+                                         slot, loaded.error().message);
+    return loaded.error();
+  }
+  return std::shared_ptr<Plugin>(std::move(*loaded));
+}
+
 Status PluginManager::install(const std::string& slot,
                               std::span<const uint8_t> module_bytes,
                               const wasm::Linker& extra_host) {
   if (slots_.contains(slot)) {
     return Error::state("slot already exists: " + slot + " (use swap)");
   }
-  WARAN_TRY(p, Plugin::load(module_bytes, extra_host, default_limits_));
+  WARAN_TRY(p, load_checked(slot, module_bytes, extra_host));
   Slot s;
-  s.plugin = std::shared_ptr<Plugin>(std::move(p));
+  s.plugin = std::move(p);
   bind_metrics(slot, s);
   slots_.emplace(slot, std::move(s));
   WARAN_LOG(kInfo, "plugin", "installed slot '" << slot << "'");
@@ -39,8 +62,8 @@ Status PluginManager::swap(const std::string& slot,
   auto it = slots_.find(slot);
   if (it == slots_.end()) return Error::not_found("no such slot: " + slot);
   // Build the replacement completely before touching the live slot.
-  WARAN_TRY(p, Plugin::load(module_bytes, extra_host, default_limits_));
-  it->second.plugin = std::shared_ptr<Plugin>(std::move(p));
+  WARAN_TRY(p, load_checked(slot, module_bytes, extra_host));
+  it->second.plugin = std::move(p);
   it->second.health.quarantined = false;
   it->second.health.consecutive_faults = 0;
   ++it->second.health.swaps;
@@ -65,16 +88,33 @@ Result<std::vector<uint8_t>> PluginManager::call(const std::string& slot,
   obs::ObsSpan span(obs::TraceCat::kPlugin, slot);
   ++s.health.calls;
   s.m_calls->add();
-  auto result = s.plugin->call(fn, input);
-  // Canonical telemetry path: every sandbox crossing feeds the engine's
-  // CallStats into both the exact per-slot accumulator (CallCostAcc, for
-  // offline p50/p99) and the metrics registry (for live exposition) —
-  // including faulting calls, whose partial cost still counts.
-  const wasm::CallStats& cs = s.plugin->last_call_stats();
-  s.cost.add(cs.fuel_used, cs.instrs_retired, cs.wall_ns, cs.peak_stack_depth);
-  s.m_fuel_used->add(cs.fuel_used);
-  s.m_instrs->add(cs.instrs_retired);
-  s.m_wall_ns->add(cs.wall_ns);
+
+  CallIntercept intercept;
+  if (call_interceptor_) intercept = call_interceptor_(slot, fn);
+
+  Result<std::vector<uint8_t>> result = Error::internal("uninitialized");
+  if (intercept.fail) {
+    // Injected failure: the sandbox is never entered, so the crossing costs
+    // nothing — but it still counts as a call so the accounting invariant
+    // (health.calls == cost.calls() == calls_total) holds.
+    result = *intercept.fail;
+    s.cost.add(0, 0, 0, 0);
+    s.m_wall_ns->add(0);
+  } else {
+    CallOverrides overrides;
+    overrides.fuel = intercept.fuel;
+    overrides.deadline_ns = intercept.deadline_ns;
+    result = s.plugin->call(fn, input, overrides);
+    // Canonical telemetry path: every sandbox crossing feeds the engine's
+    // CallStats into both the exact per-slot accumulator (CallCostAcc, for
+    // offline p50/p99) and the metrics registry (for live exposition) —
+    // including faulting calls, whose partial cost still counts.
+    const wasm::CallStats& cs = s.plugin->last_call_stats();
+    s.cost.add(cs.fuel_used, cs.instrs_retired, cs.wall_ns, cs.peak_stack_depth);
+    s.m_fuel_used->add(cs.fuel_used);
+    s.m_instrs->add(cs.instrs_retired);
+    s.m_wall_ns->add(cs.wall_ns);
+  }
   if (!result.ok()) {
     if (result.error().code == Error::Code::kState) {
       // Deliberate rejection: legitimate behaviour (a comm plugin refusing

@@ -14,8 +14,10 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -87,6 +89,38 @@ class PluginManager {
   /// Direct access for introspection (memory probes in Fig. 5c).
   Plugin* plugin(const std::string& slot);
 
+  // --- Deterministic fault injection (waran::chaos) ------------------------
+  // The interceptors let a harness fail or starve individual sandbox
+  // crossings on a reproducible schedule, exercising the manager's real
+  // containment paths (fault accounting, quarantine, anomaly journal)
+  // rather than simulating them from outside. Production embedders never
+  // install one; the manager stays chaos-free.
+
+  /// What the call interceptor decided for one crossing.
+  struct CallIntercept {
+    /// Fail the call with this error before the sandbox is entered. The
+    /// error flows through the normal fault-accounting path (kTrap /
+    /// kFuelExhausted anomalies, consecutive-fault quarantine).
+    std::optional<Error> fail;
+    /// Starve the call for real: one-call fuel / deadline overrides passed
+    /// to the engine, which then reports genuine exhaustion traps.
+    std::optional<uint64_t> fuel;
+    std::optional<uint64_t> deadline_ns;
+  };
+  using CallInterceptor =
+      std::function<CallIntercept(const std::string& slot, const std::string& fn)>;
+  void set_call_interceptor(CallInterceptor fn) {
+    call_interceptor_ = std::move(fn);
+  }
+
+  /// Consulted by install/swap before the module is loaded; returning an
+  /// error makes the load fail (recorded as a kLoadFailed anomaly, like any
+  /// natural decode/validate/instantiate failure).
+  using LoadInterceptor = std::function<std::optional<Error>(const std::string& slot)>;
+  void set_load_interceptor(LoadInterceptor fn) {
+    load_interceptor_ = std::move(fn);
+  }
+
  private:
   struct Slot {
     std::shared_ptr<Plugin> plugin;
@@ -105,9 +139,15 @@ class PluginManager {
 
   void bind_metrics(const std::string& slot_name, Slot& slot);
 
+  Result<std::shared_ptr<Plugin>> load_checked(const std::string& slot,
+                                               std::span<const uint8_t> module_bytes,
+                                               const wasm::Linker& extra_host);
+
   PluginLimits default_limits_;
   std::string domain_ = "plugin";
   std::map<std::string, Slot> slots_;
+  CallInterceptor call_interceptor_;
+  LoadInterceptor load_interceptor_;
 };
 
 }  // namespace waran::plugin

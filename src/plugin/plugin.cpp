@@ -149,7 +149,8 @@ size_t Plugin::memory_bytes() const {
 }
 
 Result<std::vector<uint8_t>> Plugin::call(const std::string& fn,
-                                          std::span<const uint8_t> input) {
+                                          std::span<const uint8_t> input,
+                                          const CallOverrides& overrides) {
   last_call_stats_ = {};
   if (input.size() > limits_.max_input_bytes) {
     return Error::limit_exceeded("plugin input exceeds limit");
@@ -162,9 +163,10 @@ Result<std::vector<uint8_t>> Plugin::call(const std::string& fn,
   // unmetered in both vocabularies), and the optional wall-clock deadline
   // rides along. The instance restores its fuel state after the call.
   wasm::CallOptions options;
-  options.fuel = limits_.fuel_per_call;
-  if (limits_.deadline_ns_per_call > 0) {
-    options.deadline = std::chrono::nanoseconds(limits_.deadline_ns_per_call);
+  options.fuel = overrides.fuel.value_or(limits_.fuel_per_call);
+  uint64_t deadline_ns = overrides.deadline_ns.value_or(limits_.deadline_ns_per_call);
+  if (deadline_ns > 0) {
+    options.deadline = std::chrono::nanoseconds(deadline_ns);
   }
 
   ++stats_.calls;

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -44,6 +45,15 @@ struct PluginStats {
   std::string last_error;
 };
 
+/// One-call budget overrides, tightening (or loosening) the slot's standing
+/// PluginLimits for a single sandbox crossing. The chaos harness uses this
+/// to force *real* engine-level fuel/deadline exhaustion on schedule; the
+/// FuelGovernor path keeps using set_fuel_per_call for standing changes.
+struct CallOverrides {
+  std::optional<uint64_t> fuel;         ///< fuel budget for this call only
+  std::optional<uint64_t> deadline_ns;  ///< wall-clock budget for this call only
+};
+
 /// One loaded plugin instance.
 class Plugin {
  public:
@@ -57,8 +67,9 @@ class Plugin {
   /// Calls exported `fn` with `input` available via the ABI; returns the
   /// bytes the plugin wrote with output_write. The exported function must
   /// have type () -> i32 and return 0; a nonzero return is a plugin-declared
-  /// failure.
-  Result<std::vector<uint8_t>> call(const std::string& fn, std::span<const uint8_t> input);
+  /// failure. `overrides` tightens the per-call budgets for this call only.
+  Result<std::vector<uint8_t>> call(const std::string& fn, std::span<const uint8_t> input,
+                                    const CallOverrides& overrides = {});
 
   /// True if the module exports function `fn`.
   bool has_export(const std::string& fn) const;

@@ -106,6 +106,7 @@ void GnbMac::apply_response(SliceState& slice, const codec::SchedRequest& req,
                             const codec::SchedResponse& resp,
                             std::map<uint32_t, SlotDelivery>& delivered) {
   uint32_t remaining = req.prb_quota;
+  uint64_t sanitized_here = 0;
   for (const codec::SchedAlloc& alloc : resp.allocs) {
     if (remaining == 0) break;
     if (alloc.prbs == 0) continue;
@@ -114,15 +115,13 @@ void GnbMac::apply_response(SliceState& slice, const codec::SchedRequest& req,
         (it->second->buffer_bytes() == 0 && !it->second->harq_pending())) {
       // Plugin referenced a UE it does not own / that asked for nothing:
       // sanitize by dropping the grant (§6A).
-      ++slice.stats.sanitized_allocs;
-      slice.m_sanitized->add();
+      ++sanitized_here;
       continue;
     }
     uint32_t prbs = alloc.prbs;
     if (prbs > remaining) {
       // Over-allocation: clamp rather than fault.
-      ++slice.stats.sanitized_allocs;
-      slice.m_sanitized->add();
+      ++sanitized_here;
       prbs = remaining;
     }
     remaining -= prbs;
@@ -161,6 +160,17 @@ void GnbMac::apply_response(SliceState& slice, const codec::SchedRequest& req,
     } else {
       delivered[alloc.rnti].fresh_bits += deliverable;
     }
+  }
+  slice.stats.sanitized_allocs += sanitized_here;
+  slice.m_sanitized->add(sanitized_here);
+  if (sanitized_here > 0) {
+    // One journal entry per sanitized response (not per grant): the journal
+    // answers "which slice misbehaved in which slot", the counter above
+    // carries the magnitude.
+    obs::AnomalyJournal::global().record(
+        obs::AnomalyKind::kSanitized, "mac",
+        "slice " + std::to_string(slice.config.slice_id),
+        std::to_string(sanitized_here) + " grant(s) dropped or clamped");
   }
   slice.m_prb_granted->add(req.prb_quota - remaining);
 }
@@ -256,7 +266,8 @@ Status GnbMac::run_slot() {
   // Slot-deadline accounting: in a real-time deployment the slot budget is
   // config_.slot_us of wall time; an overrun is the anomaly the paper's
   // fuel/deadline machinery exists to prevent.
-  const uint64_t slot_wall_ns = obs::now_ns() - slot_t0;
+  uint64_t slot_wall_ns = obs::now_ns() - slot_t0;
+  if (slot_padding_) slot_wall_ns += slot_padding_();
   m_slots_->add();
   m_slot_wall_ns_->add(slot_wall_ns);
   if (slot_wall_ns > static_cast<uint64_t>(config_.slot_us) * 1000) {

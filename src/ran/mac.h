@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -108,6 +109,14 @@ class GnbMac {
 
   IntraSliceScheduler* intra_scheduler(uint32_t slice_id);
 
+  /// Fault injection (waran::chaos): extra nanoseconds charged to the slot
+  /// wall-clock before the overrun check, standing in for a host-side stall
+  /// (page fault, preemption). The callback runs once per slot; return 0
+  /// for no padding. Clears with nullptr.
+  void set_slot_time_padding(std::function<uint64_t()> fn) {
+    slot_padding_ = std::move(fn);
+  }
+
  private:
   struct SliceState {
     SliceConfig config;
@@ -144,6 +153,7 @@ class GnbMac {
   std::unique_ptr<InterSliceScheduler> inter_;
   McsTable mcs_table_ = McsTable::kQam64;
   Xoshiro256 error_rng_{0x5eed};
+  std::function<uint64_t()> slot_padding_;
 };
 
 }  // namespace waran::ran

@@ -82,6 +82,10 @@ class GnbAgent {
     return plugins_.cost(slot);
   }
 
+  /// The agent's plugin manager ("comm" + "ctl" slots, domain
+  /// "gnb<cell_id>") — for health introspection and fault injection.
+  plugin::PluginManager& plugins() { return plugins_; }
+
   /// Slots between indications (RIC-configurable via the v2 control plugin
   /// and the set_report_period action; default 100 = 100 ms).
   uint32_t report_period_slots() const { return report_period_slots_; }

@@ -14,6 +14,14 @@ struct TransportMetrics {
       obs::MetricsRegistry::global().counter("waran_transport_bytes_total");
   obs::Counter& drops =
       obs::MetricsRegistry::global().counter("waran_transport_drops_total");
+  obs::Counter& corrupted =
+      obs::MetricsRegistry::global().counter("waran_transport_corrupted_total");
+  obs::Counter& duplicated =
+      obs::MetricsRegistry::global().counter("waran_transport_duplicated_total");
+  obs::Counter& reordered =
+      obs::MetricsRegistry::global().counter("waran_transport_reordered_total");
+  obs::Counter& delivered =
+      obs::MetricsRegistry::global().counter("waran_transport_delivered_total");
   static TransportMetrics& get() {
     static TransportMetrics m;
     return m;
@@ -22,24 +30,76 @@ struct TransportMetrics {
 
 }  // namespace
 
+void Duplex::enqueue(Side to, std::vector<uint8_t> frame) {
+  ++frames_delivered_;
+  TransportMetrics::get().delivered.add();
+  if (to == Side::kA) {
+    to_a_.push_back(std::move(frame));
+  } else {
+    to_b_.push_back(std::move(frame));
+  }
+}
+
+void Duplex::release_due(Side to) {
+  auto& held = to == Side::kA ? held_a_ : held_b_;
+  while (!held.empty() && held.front().remaining == 0) {
+    std::vector<uint8_t> frame = std::move(held.front().frame);
+    held.pop_front();
+    enqueue(to, std::move(frame));
+  }
+}
+
 void Duplex::send(Side from, std::vector<uint8_t> frame) {
   obs::ObsSpan span(obs::TraceCat::kTransport, "send",
                     static_cast<uint32_t>(frame.size()));
+  const Side to = from == Side::kA ? Side::kB : Side::kA;
   ++frames_sent_;
   TransportMetrics::get().frames.add();
   TransportMetrics::get().bytes.add(frame.size());
-  bool drop = false;
-  if (tap_) tap_(frame, drop);
-  if (drop) {
-    ++frames_dropped_;
-    TransportMetrics::get().drops.add();
-    return;
+
+  // Every send toward `to` ages the frames held back for that side, so a
+  // reordered frame overtakes exactly `delay` successors, then lands.
+  auto& held = to == Side::kA ? held_a_ : held_b_;
+  for (Held& h : held) {
+    if (h.remaining > 0) --h.remaining;
   }
-  if (from == Side::kA) {
-    to_b_.push_back(std::move(frame));
-  } else {
-    to_a_.push_back(std::move(frame));
+
+  Fault fault;  // kDeliver
+  for (const FaultStage& stage : stages_) {
+    if (!stage) continue;
+    fault = stage(frame, to);
+    if (fault.action == FaultAction::kCorrupt) {
+      ++frames_corrupted_;
+      TransportMetrics::get().corrupted.add();
+      continue;  // corrupted frames still travel; later stages may act too
+    }
+    if (fault.action != FaultAction::kDeliver) break;  // terminal
   }
+
+  switch (fault.action) {
+    case FaultAction::kDrop:
+      ++frames_dropped_;
+      TransportMetrics::get().drops.add();
+      break;
+    case FaultAction::kDuplicate: {
+      ++frames_duplicated_;
+      TransportMetrics::get().duplicated.add();
+      std::vector<uint8_t> copy = frame;
+      enqueue(to, std::move(copy));
+      enqueue(to, std::move(frame));
+      break;
+    }
+    case FaultAction::kReorder:
+      ++frames_reordered_;
+      TransportMetrics::get().reordered.add();
+      held.push_back(Held{std::move(frame), fault.delay == 0 ? 1 : fault.delay});
+      break;
+    case FaultAction::kDeliver:
+    case FaultAction::kCorrupt:
+      enqueue(to, std::move(frame));
+      break;
+  }
+  release_due(to);
 }
 
 std::optional<std::vector<uint8_t>> Duplex::receive(Side side) {
@@ -52,6 +112,19 @@ std::optional<std::vector<uint8_t>> Duplex::receive(Side side) {
 
 size_t Duplex::pending(Side side) const {
   return side == Side::kA ? to_a_.size() : to_b_.size();
+}
+
+void Duplex::flush_delayed() {
+  while (!held_a_.empty()) {
+    std::vector<uint8_t> frame = std::move(held_a_.front().frame);
+    held_a_.pop_front();
+    enqueue(Side::kA, std::move(frame));
+  }
+  while (!held_b_.empty()) {
+    std::vector<uint8_t> frame = std::move(held_b_.front().frame);
+    held_b_.pop_front();
+    enqueue(Side::kB, std::move(frame));
+  }
 }
 
 }  // namespace waran::ric

@@ -1,7 +1,8 @@
 // In-process duplex transport standing in for the paper's operator-chosen
 // message bus (ZeroMQ / Kafka / SCTP — §4B lets each deployment pick).
 // Two endpoints, each with an inbound queue; supports deterministic fault
-// injection (frame corruption, drops) to exercise the communication
+// injection through a composable pipeline of fault stages (corruption,
+// drops, duplication, reorder-with-delay) to exercise the communication
 // plugins' sanitization path (§3B: "no malicious packets ... can be
 // injected into the host RIC").
 #pragma once
@@ -18,6 +19,28 @@ class Duplex {
  public:
   enum class Side : uint8_t { kA, kB };
 
+  /// What one fault stage decided for one in-flight frame.
+  enum class FaultAction : uint8_t {
+    kDeliver,    ///< pass unchanged to the next stage (or the inbound queue)
+    kCorrupt,    ///< stage mutated the frame in place; keep going
+    kDrop,       ///< discard; later stages never see the frame
+    kDuplicate,  ///< deliver two copies (terminal)
+    kReorder,    ///< hold back; release after `delay` later sends (terminal)
+  };
+
+  struct Fault {
+    FaultAction action = FaultAction::kDeliver;
+    /// kReorder only: how many subsequent sends toward the same destination
+    /// must pass before the held frame is released behind them.
+    uint32_t delay = 1;
+  };
+
+  /// One stage of the fault pipeline. Sees every frame in flight (mutable,
+  /// so kCorrupt can flip bits) and the destination side. Stages run in
+  /// installation order; kDeliver/kCorrupt continue to the next stage, the
+  /// first terminal action (drop/duplicate/reorder) ends the pipeline.
+  using FaultStage = std::function<Fault(std::vector<uint8_t>& frame, Side to)>;
+
   /// Sends a frame from `from` toward the opposite endpoint.
   void send(Side from, std::vector<uint8_t> frame);
 
@@ -26,20 +49,46 @@ class Duplex {
 
   size_t pending(Side side) const;
 
-  /// Installs a tap applied to every frame in flight (mutate to corrupt,
-  /// clear to drop). Used by tests and the ric_roundtrip bench.
-  using Tap = std::function<void(std::vector<uint8_t>& frame, bool& drop)>;
-  void set_tap(Tap tap) { tap_ = std::move(tap); }
+  void add_fault_stage(FaultStage stage) {
+    stages_.push_back(std::move(stage));
+  }
+  void clear_fault_stages() { stages_.clear(); }
+
+  /// Releases every frame still held for reordering into its destination
+  /// queue (in hold order). Call when draining a scenario, so a reordered
+  /// frame near the end of an episode is not silently lost.
+  void flush_delayed();
+
+  /// Frames held back for reordering right now (not yet released).
+  size_t delayed_in_flight() const { return held_a_.size() + held_b_.size(); }
 
   uint64_t frames_sent() const { return frames_sent_; }
   uint64_t frames_dropped() const { return frames_dropped_; }
+  uint64_t frames_corrupted() const { return frames_corrupted_; }
+  uint64_t frames_duplicated() const { return frames_duplicated_; }
+  uint64_t frames_reordered() const { return frames_reordered_; }
+  uint64_t frames_delivered() const { return frames_delivered_; }
 
  private:
+  struct Held {
+    std::vector<uint8_t> frame;
+    uint32_t remaining;  // sends toward the same side left before release
+  };
+
+  void enqueue(Side to, std::vector<uint8_t> frame);
+  void release_due(Side to);
+
   std::deque<std::vector<uint8_t>> to_a_;
   std::deque<std::vector<uint8_t>> to_b_;
-  Tap tap_;
+  std::deque<Held> held_a_;  // destined for side A
+  std::deque<Held> held_b_;  // destined for side B
+  std::vector<FaultStage> stages_;
   uint64_t frames_sent_ = 0;
   uint64_t frames_dropped_ = 0;
+  uint64_t frames_corrupted_ = 0;
+  uint64_t frames_duplicated_ = 0;
+  uint64_t frames_reordered_ = 0;
+  uint64_t frames_delivered_ = 0;
 };
 
 }  // namespace waran::ric

@@ -15,6 +15,13 @@ uint32_t Memory::grow(uint32_t delta_pages) {
   uint32_t old_pages = pages();
   uint64_t new_pages = static_cast<uint64_t>(old_pages) + delta_pages;
   if (new_pages > max_pages_) return static_cast<uint32_t>(-1);
+  if (delta_pages > 0 && deny_grow_after_.has_value()) {
+    if (*deny_grow_after_ == 0) {
+      ++denied_grows_;
+      return static_cast<uint32_t>(-1);
+    }
+    --*deny_grow_after_;
+  }
   bytes_.resize(static_cast<size_t>(new_pages) * kPageSize, 0);
   return old_pages;
 }

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <cstring>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -27,6 +28,14 @@ class Memory {
   /// memory.grow semantics: returns the previous page count, or -1 (as
   /// uint32_t) when the request exceeds the limit. Never traps.
   uint32_t grow(uint32_t delta_pages);
+
+  /// Fault injection (waran::chaos): after `n` more successful grows, every
+  /// nonzero grow request fails with -1, exactly as if the memory limit had
+  /// been reached — spec-conformant (grow never traps), so a well-written
+  /// plugin must handle it. nullopt clears the denial.
+  void set_grow_denial_after(std::optional<uint32_t> n) { deny_grow_after_ = n; }
+  /// Grow requests denied by the injected policy (not by the real limit).
+  uint32_t denied_grows() const { return denied_grows_; }
 
   /// True iff [addr, addr+len) lies within the current memory.
   bool in_bounds(uint64_t addr, uint64_t len) const {
@@ -71,6 +80,8 @@ class Memory {
 
   std::vector<uint8_t> bytes_;
   uint32_t max_pages_;
+  std::optional<uint32_t> deny_grow_after_;
+  uint32_t denied_grows_ = 0;
 };
 
 }  // namespace waran::wasm

@@ -2,60 +2,15 @@
 // interpreter frames (no native recursion), re-entrant host->wasm calls on
 // the shared ExecContext, segment-level fuel accounting that never exceeds
 // the budget, per-call CallOptions/CallStats, and the zero-allocation
-// warm-call guarantee (this TU overrides the global operator new to count
-// real heap traffic through common/tracked_alloc's heap probe).
+// warm-call guarantee (tests/heap_probe_guard.h overrides this binary's
+// operator new to count real heap traffic through the heap probe).
 #include <gtest/gtest.h>
 
 #include <chrono>
-#include <cstdlib>
-#include <new>
 
 #include "common/tracked_alloc.h"
+#include "tests/heap_probe_guard.h"
 #include "tests/wasm_test_util.h"
-
-// --- Global allocation probe -------------------------------------------------
-// Every operator-new in this binary funnels through heap_probe, so a test
-// can assert that a measured region performed zero heap allocations.
-// GCC flags the malloc-backed operator delete as a new/free mismatch; the
-// pairing is consistent (operator new is malloc-backed too), so silence it.
-
-#if defined(__GNUC__) && !defined(__clang__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
-#endif
-
-void* operator new(std::size_t n) {
-  waran::heap_probe::note_alloc(n);
-  void* p = std::malloc(n);
-  if (p == nullptr) throw std::bad_alloc();
-  return p;
-}
-void* operator new[](std::size_t n) {
-  waran::heap_probe::note_alloc(n);
-  void* p = std::malloc(n);
-  if (p == nullptr) throw std::bad_alloc();
-  return p;
-}
-void operator delete(void* p) noexcept {
-  waran::heap_probe::note_free();
-  std::free(p);
-}
-void operator delete(void* p, std::size_t) noexcept {
-  waran::heap_probe::note_free();
-  std::free(p);
-}
-void operator delete[](void* p) noexcept {
-  waran::heap_probe::note_free();
-  std::free(p);
-}
-void operator delete[](void* p, std::size_t) noexcept {
-  waran::heap_probe::note_free();
-  std::free(p);
-}
-
-#if defined(__GNUC__) && !defined(__clang__)
-#pragma GCC diagnostic pop
-#endif
 
 namespace waran::wasmtest {
 namespace {
@@ -65,24 +20,6 @@ using wasm::CallStats;
 using wasm::HostContext;
 using wasm::HostFunc;
 using wasm::Value;
-
-// down(n) = n == 0 ? 0 : down(n - 1); recursion depth n + 1 frames.
-ModuleBuilder recursive_module() {
-  ModuleBuilder mb;
-  FunctionBuilder& f = mb.add_func(FuncType{{ValType::kI32}, {ValType::kI32}}, "down");
-  f.local_get(0)
-      .op(Op::kI32Eqz)
-      .if_(BlockT::i32())
-      .i32_const(0)
-      .else_()
-      .local_get(0)
-      .i32_const(1)
-      .op(Op::kI32Sub)
-      .call(f.index())
-      .end()
-      .end();
-  return mb;
-}
 
 TEST(ExecContext, DeepRecursionRunsOnInterpreterFrames) {
   // 20k+ wasm frames would overflow the native stack if calls recursed
@@ -113,35 +50,6 @@ TEST(ExecContext, DeepRecursionTrapsCleanlyAtDepthLimit) {
   // The trap unwound the shared context: a shallow call still works.
   std::vector<TypedValue> ok_args{{ValType::kI32, Value::from_i32(5)}};
   EXPECT_EQ(call_i32(*inst, "down", ok_args), 0);
-}
-
-// Module for re-entrancy: outer(x) = reenter(x) + 1, where the host's
-// `reenter` calls back into the exported leaf(x) = x * 2.
-ModuleBuilder reentrant_module() {
-  ModuleBuilder mb;
-  uint32_t imp =
-      mb.import_func("env", "reenter", FuncType{{ValType::kI32}, {ValType::kI32}});
-  FunctionBuilder& leaf = mb.add_func(FuncType{{ValType::kI32}, {ValType::kI32}}, "leaf");
-  leaf.local_get(0).i32_const(2).op(Op::kI32Mul).end();
-  FunctionBuilder& outer =
-      mb.add_func(FuncType{{ValType::kI32}, {ValType::kI32}}, "outer");
-  outer.local_get(0).call(imp).i32_const(1).op(Op::kI32Add).end();
-  return mb;
-}
-
-wasm::Linker reenter_linker(const char* target) {
-  wasm::Linker linker;
-  linker.register_func(
-      "env", "reenter",
-      HostFunc{FuncType{{ValType::kI32}, {ValType::kI32}},
-               [target](HostContext& ctx, std::span<const Value> args)
-                   -> Result<std::optional<Value>> {
-                 TypedValue arg{ValType::kI32, args[0]};
-                 auto r = ctx.instance.call(target, std::span<const TypedValue>(&arg, 1));
-                 if (!r.ok()) return r.error();
-                 return std::optional<Value>((*r)->value);
-               }});
-  return linker;
 }
 
 TEST(ExecContext, ReentrantHostToWasmSharesOneContext) {
@@ -197,37 +105,6 @@ TEST(ExecContext, ReentrantTrapUnwindsSharedContext) {
   EXPECT_EQ(call_i32(*inst, "outer", shallow), 0);
 }
 
-// Branch-heavy function for fuel-exactness sweeps:
-// sum(n): s = 0; while (n) { if (n & 1) s += n; n-- } return s.
-ModuleBuilder branchy_module() {
-  ModuleBuilder mb;
-  FunctionBuilder& f = mb.add_func(FuncType{{ValType::kI32}, {ValType::kI32}}, "sum");
-  uint32_t s = f.add_local(ValType::kI32);
-  f.block()
-      .loop()
-      .local_get(0)
-      .op(Op::kI32Eqz)
-      .br_if(1)
-      .local_get(0)
-      .i32_const(1)
-      .op(Op::kI32And)
-      .if_()
-      .local_get(s)
-      .local_get(0)
-      .op(Op::kI32Add)
-      .local_set(s)
-      .end()
-      .local_get(0)
-      .i32_const(1)
-      .op(Op::kI32Sub)
-      .local_set(0)
-      .br(0)
-      .end()
-      .end()
-      .local_get(s)
-      .end();
-  return mb;
-}
 
 TEST(ExecContext, SegmentFuelMatchesInstructionCountExactly) {
   auto inst = instantiate(branchy_module());

@@ -3,19 +3,22 @@
 // (wasm/interp_loop.inc), and this suite pins down that they stay
 // observably identical — results, trap codes and messages, fuel_used,
 // instrs_retired, and linear-memory contents — across a wcc program corpus,
-// hand-built control-flow edge cases, trap paths, exact-boundary fuel
-// sweeps, and validated random mutants of a real scheduler plugin. The
+// hand-built control-flow edge cases (including a 300-lane br_table), trap
+// paths, memory.grow at its limits, re-entrant host calls, exact-boundary
+// fuel sweeps, and validated random mutants of every scheduler plugin. The
 // switch loop is the oracle; any divergence is a translation or dispatch
 // bug, not a test environment artifact.
 #include <gtest/gtest.h>
 
 #include <cstdint>
 #include <memory>
+#include <numeric>
 #include <string>
 #include <vector>
 
 #include "common/rng.h"
 #include "sched/plugins.h"
+#include "tests/wasm_test_util.h"
 #include "wasm/wasm.h"
 #include "wasmbuilder/builder.h"
 #include "wcc/compiler.h"
@@ -216,6 +219,91 @@ TEST(InterpDifferential, BrTableMatches) {
   }
 }
 
+TEST(InterpDifferential, DeepBrTableMatches) {
+  // 300 lanes: the lane count and the deeper targets need multi-byte LEBs,
+  // and resolution unwinds through hundreds of enclosing blocks — the
+  // widest dispatch shape the translator has to get right.
+  constexpr uint32_t kLanes = 300;
+  ModuleBuilder mb;
+  auto& f = mb.add_func(FuncType{{ValType::kI32}, {ValType::kI32}}, "work");
+  uint32_t acc = f.add_local(ValType::kI32);
+  for (uint32_t d = 0; d < kLanes; ++d) f.block();
+  f.local_get(0);
+  std::vector<uint32_t> targets(kLanes);
+  std::iota(targets.begin(), targets.end(), 0u);
+  f.br_table(targets, kLanes - 1);
+  for (uint32_t d = 0; d < kLanes; ++d) {
+    f.end();
+    if (d + 1 < kLanes) {
+      // Distinct side effect per arm so a mis-resolved target changes the
+      // result, not just the path.
+      f.i32_const(static_cast<int32_t>(d * 7 + 1)).local_set(acc);
+      f.local_get(acc).ret();
+    }
+  }
+  f.i32_const(static_cast<int32_t>(kLanes * 7 + 1)).local_set(acc);
+  f.local_get(acc).end();
+
+  DiffPair pair = make_pair(mb);
+  for (int32_t sel : {0, 1, 63, 127, 128, 255, 256, 298, 299, 300, 5000, -1}) {
+    pair.expect_same("work", {TypedValue::i32(sel)});
+  }
+}
+
+TEST(InterpDifferential, MemoryGrowAtLimitsMatches) {
+  // memory 1..4 pages. Both dispatchers must agree on every grow result
+  // (previous size on success, -1 on denial), on memory.size, and on
+  // whether a probe at the moving boundary traps — before, across, and at
+  // the declared maximum.
+  ModuleBuilder mb;
+  mb.add_memory(1, 4);
+  auto& g = mb.add_func(FuncType{{ValType::kI32}, {ValType::kI32}}, "grow");
+  g.local_get(0).memory_grow().end();
+  auto& s = mb.add_func(FuncType{{}, {ValType::kI32}}, "size");
+  s.memory_size().end();
+  auto& p = mb.add_func(FuncType{{ValType::kI32}, {ValType::kI32}}, "probe");
+  p.local_get(0).load(Op::kI32Load).end();
+
+  constexpr int32_t kPage = 65536;
+  DiffPair pair = make_pair(mb);
+  pair.expect_same("size", {});
+  pair.expect_same("probe", {TypedValue::i32(kPage - 4)});      // last word, page 0
+  pair.expect_same("probe", {TypedValue::i32(kPage)});          // oob before grow
+  pair.expect_same("grow", {TypedValue::i32(0)});               // no-op: reports 1
+  pair.expect_same("grow", {TypedValue::i32(2)});               // 1 -> 3
+  pair.expect_same("probe", {TypedValue::i32(3 * kPage - 4)});  // now in bounds
+  pair.expect_same("grow", {TypedValue::i32(2)});               // 3+2 > max: -1
+  pair.expect_same("grow", {TypedValue::i32(1)});               // 3 -> 4 == max
+  pair.expect_same("grow", {TypedValue::i32(1)});               // at max: -1
+  pair.expect_same("grow", {TypedValue::i32(0x7fffffff)});      // absurd count: -1
+  pair.expect_same("grow", {TypedValue::i32(0)});               // still reports 4
+  pair.expect_same("size", {});
+  pair.expect_same("probe", {TypedValue::i32(4 * kPage - 4)});
+  pair.expect_same("probe", {TypedValue::i32(4 * kPage)});      // oob at max
+}
+
+TEST(InterpDifferential, ReentrantHostCallsMatch) {
+  // outer -> host import -> back into the instance's exported leaf, all on
+  // the shared ExecContext. Both dispatchers must agree across the host
+  // boundary — results, metering, and where the budget dies when it runs
+  // out inside the nested call.
+  DiffPair pair =
+      make_pair(wasmtest::reentrant_module(), wasmtest::reenter_linker("leaf"));
+  for (int32_t x : {0, 1, 21, -5, 1 << 20}) {
+    pair.expect_same("outer", {TypedValue::i32(x)});
+  }
+
+  const std::vector<TypedValue> args = {TypedValue::i32(21)};
+  Outcome probe = run_one(*pair.oracle, "outer", args, {});
+  ASSERT_TRUE(probe.ok);
+  ASSERT_GT(probe.instrs, 2u);
+  for (uint64_t b : {uint64_t{1}, probe.instrs - 1, probe.instrs, probe.instrs + 1}) {
+    CallOptions opts;
+    opts.fuel = b;
+    pair.expect_same("outer", args, opts);
+  }
+}
+
 TEST(InterpDifferential, LoopWithValueCarryingBranchMatches) {
   // A block-typed branch that keeps one value across the unwind, exercising
   // the (keep, height) baked into the translated branch.
@@ -332,48 +420,56 @@ TEST(InterpDifferential, FuelBoundariesMatch) {
 }
 
 TEST(InterpDifferential, ValidatedMutantsMatch) {
-  // Random single-byte mutants of a real scheduler plugin that still pass
-  // validation: run each through both dispatchers under a stubbed host ABI
-  // and a tight fuel budget, and require identical observable behavior —
-  // the differential analogue of Fuzz.ValidatedMutantsAreSafeToRun.
-  auto seed_module = sched::plugins::scheduler("rr");
-  ASSERT_TRUE(seed_module.ok());
+  // Random mutants (1-3 byte edits) of every real scheduler plugin that
+  // still pass validation: run each through both dispatchers under a
+  // stubbed host ABI and a tight fuel budget, and require identical
+  // observable behavior — the differential analogue of
+  // Fuzz.ValidatedMutantsAreSafeToRun, widened across the plugin corpus
+  // and deeper corruption.
+  int kind_index = 0;
+  for (const char* kind : {"rr", "pf", "mt"}) {
+    auto seed_module = sched::plugins::scheduler(kind);
+    ASSERT_TRUE(seed_module.ok()) << kind;
 
-  Xoshiro256 rng(0xD1FF);
-  int executed = 0;
-  for (int round = 0; round < 2000 && executed < 40; ++round) {
-    std::vector<uint8_t> mutated = *seed_module;
-    mutated[rng.below(mutated.size())] = static_cast<uint8_t>(rng.next());
+    Xoshiro256 rng(0xD1FF + static_cast<uint64_t>(kind_index++));
+    int executed = 0;
+    for (int round = 0; round < 4000 && executed < 25; ++round) {
+      std::vector<uint8_t> mutated = *seed_module;
+      const uint64_t edits = 1 + rng.below(3);
+      for (uint64_t e = 0; e < edits; ++e) {
+        mutated[rng.below(mutated.size())] = static_cast<uint8_t>(rng.next());
+      }
 
-    auto decoded = wasm::decode_module(mutated);
-    if (!decoded.ok()) continue;
-    if (!wasm::validate_module(*decoded).ok()) continue;
+      auto decoded = wasm::decode_module(mutated);
+      if (!decoded.ok()) continue;
+      if (!wasm::validate_module(*decoded).ok()) continue;
 
-    // Stub every function import with a zero-returning host of the right
-    // signature so mutants exercise the interpreter, not the plugin ABI.
-    wasm::Linker linker;
-    for (const auto& imp : decoded->imports) {
-      if (imp.kind != wasm::ImportKind::kFunc) continue;
-      const FuncType& ft = decoded->types[imp.type_index];
-      const bool has_result = !ft.results.empty();
-      linker.register_func(
-          imp.module, imp.name,
-          wasm::HostFunc{ft, [has_result](wasm::HostContext&,
-                                          std::span<const wasm::Value>)
-                                 -> Result<std::optional<wasm::Value>> {
-            if (has_result) return std::optional<wasm::Value>(wasm::Value{});
-            return std::optional<wasm::Value>{};
-          }});
+      // Stub every function import with a zero-returning host of the right
+      // signature so mutants exercise the interpreter, not the plugin ABI.
+      wasm::Linker linker;
+      for (const auto& imp : decoded->imports) {
+        if (imp.kind != wasm::ImportKind::kFunc) continue;
+        const FuncType& ft = decoded->types[imp.type_index];
+        const bool has_result = !ft.results.empty();
+        linker.register_func(
+            imp.module, imp.name,
+            wasm::HostFunc{ft, [has_result](wasm::HostContext&,
+                                            std::span<const wasm::Value>)
+                                   -> Result<std::optional<wasm::Value>> {
+              if (has_result) return std::optional<wasm::Value>(wasm::Value{});
+              return std::optional<wasm::Value>{};
+            }});
+      }
+
+      auto pair = make_pair_from_bytes(mutated, linker);
+      if (!pair.ok()) continue;  // e.g. start function trapped — fine
+      ++executed;
+      CallOptions opts;
+      opts.fuel = 200'000;
+      pair->expect_same("schedule", {}, opts);
     }
-
-    auto pair = make_pair_from_bytes(mutated, linker);
-    if (!pair.ok()) continue;  // e.g. start function trapped — fine
-    ++executed;
-    CallOptions opts;
-    opts.fuel = 200'000;
-    pair->expect_same("schedule", {}, opts);
+    EXPECT_GT(executed, 0) << kind;
   }
-  EXPECT_GT(executed, 0);
 }
 
 }  // namespace

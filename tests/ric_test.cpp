@@ -309,14 +309,76 @@ TEST_F(ClosedLoop, CorruptedFramesAreSanitizedNotParsed) {
   ASSERT_TRUE(ric_->add_xapp("sla", *sla).ok());
 
   // Corrupt every frame on the wire.
-  link_.set_tap([](std::vector<uint8_t>& frame, bool&) {
+  link_.add_fault_stage([](std::vector<uint8_t>& frame, Duplex::Side) {
     if (frame.size() > 10) frame[10] ^= 0xff;
+    return Duplex::Fault{Duplex::FaultAction::kCorrupt};
   });
   ASSERT_TRUE(mac_->run_slots(10).ok());
   ASSERT_TRUE(agent_->send_indication().ok());
   ASSERT_TRUE(ric_->poll().ok());
   EXPECT_EQ(ric_->stats().indications_processed, 0u);
   EXPECT_EQ(ric_->stats().frames_rejected, 1u);
+  // Corrupted-but-delivered frames are visible in the link accounting, not
+  // just as the receiver's rejection.
+  EXPECT_EQ(link_.frames_corrupted(), 1u);
+  EXPECT_EQ(link_.frames_delivered(), 1u);
+  EXPECT_EQ(link_.frames_reordered(), 0u);
+}
+
+TEST_F(ClosedLoop, ReorderedFramesAreCountedAndStillProcessed) {
+  auto sla = plugin_sources::sla_xapp();
+  ASSERT_TRUE(sla.ok());
+  ASSERT_TRUE(ric_->add_xapp("sla", *sla).ok());
+
+  // Hold the first indication back until two later sends pass it.
+  bool first = true;
+  link_.add_fault_stage([&first](std::vector<uint8_t>&, Duplex::Side) {
+    if (first) {
+      first = false;
+      return Duplex::Fault{Duplex::FaultAction::kReorder, 2};
+    }
+    return Duplex::Fault{};
+  });
+  quotas_->set_quota(1, 2);
+  ASSERT_TRUE(mac_->run_slots(30).ok());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(agent_->send_indication().ok());
+  }
+  ASSERT_TRUE(ric_->poll().ok());
+  EXPECT_EQ(link_.frames_reordered(), 1u);
+  EXPECT_EQ(link_.delayed_in_flight(), 0u);  // released after 2 later sends
+  // All three indications (in permuted order) are intact and parse.
+  EXPECT_EQ(ric_->stats().indications_processed, 3u);
+  EXPECT_EQ(ric_->stats().frames_rejected, 0u);
+  EXPECT_EQ(link_.frames_delivered(), link_.frames_sent());
+}
+
+TEST_F(ClosedLoop, DuplicatedAndDroppedFramesBalanceLinkAccounting) {
+  auto sla = plugin_sources::sla_xapp();
+  ASSERT_TRUE(sla.ok());
+  ASSERT_TRUE(ric_->add_xapp("sla", *sla).ok());
+
+  // Duplicate the first frame, drop the second, deliver the rest.
+  uint32_t n = 0;
+  link_.add_fault_stage([&n](std::vector<uint8_t>&, Duplex::Side) {
+    ++n;
+    if (n == 1) return Duplex::Fault{Duplex::FaultAction::kDuplicate};
+    if (n == 2) return Duplex::Fault{Duplex::FaultAction::kDrop};
+    return Duplex::Fault{};
+  });
+  ASSERT_TRUE(mac_->run_slots(10).ok());
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(agent_->send_indication().ok());
+  }
+  ASSERT_TRUE(ric_->poll().ok());
+  EXPECT_EQ(link_.frames_sent(), 4u);
+  EXPECT_EQ(link_.frames_duplicated(), 1u);
+  EXPECT_EQ(link_.frames_dropped(), 1u);
+  // Conservation: sent + duplicated == delivered + dropped (+ held).
+  EXPECT_EQ(link_.frames_sent() + link_.frames_duplicated(),
+            link_.frames_delivered() + link_.frames_dropped());
+  // The duplicate is a well-formed frame: it parses as a second indication.
+  EXPECT_EQ(ric_->stats().indications_processed, 4u);
 }
 
 TEST_F(ClosedLoop, FaultyXappIsContainedOthersKeepWorking) {

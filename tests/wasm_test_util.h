@@ -4,7 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <memory>
+#include <optional>
+#include <span>
 #include <vector>
 
 #include "wasm/wasm.h"
@@ -78,6 +81,92 @@ inline Error call_expect_trap(wasm::Instance& inst, const char* name,
   EXPECT_FALSE(r.ok()) << "expected a trap, call succeeded";
   if (r.ok()) return Error::internal("no trap");
   return r.error();
+}
+
+// --- Shared module shapes ----------------------------------------------------
+// Small canonical modules several suites exercise (execution core, stress,
+// differential): kept here so every suite drives the same bytecode.
+
+/// down(n) = n == 0 ? 0 : down(n - 1); recursion depth n + 1 frames.
+inline ModuleBuilder recursive_module() {
+  ModuleBuilder mb;
+  FunctionBuilder& f = mb.add_func(FuncType{{ValType::kI32}, {ValType::kI32}}, "down");
+  f.local_get(0)
+      .op(Op::kI32Eqz)
+      .if_(BlockT::i32())
+      .i32_const(0)
+      .else_()
+      .local_get(0)
+      .i32_const(1)
+      .op(Op::kI32Sub)
+      .call(f.index())
+      .end()
+      .end();
+  return mb;
+}
+
+/// Re-entrancy shape: outer(x) = reenter(x) + 1, where the host's `reenter`
+/// import calls back into the exported leaf(x) = x * 2.
+inline ModuleBuilder reentrant_module() {
+  ModuleBuilder mb;
+  uint32_t imp =
+      mb.import_func("env", "reenter", FuncType{{ValType::kI32}, {ValType::kI32}});
+  FunctionBuilder& leaf = mb.add_func(FuncType{{ValType::kI32}, {ValType::kI32}}, "leaf");
+  leaf.local_get(0).i32_const(2).op(Op::kI32Mul).end();
+  FunctionBuilder& outer =
+      mb.add_func(FuncType{{ValType::kI32}, {ValType::kI32}}, "outer");
+  outer.local_get(0).call(imp).i32_const(1).op(Op::kI32Add).end();
+  return mb;
+}
+
+/// Host linker for reentrant_module: env.reenter re-enters the instance
+/// through the named export.
+inline wasm::Linker reenter_linker(const char* target) {
+  wasm::Linker linker;
+  linker.register_func(
+      "env", "reenter",
+      wasm::HostFunc{FuncType{{ValType::kI32}, {ValType::kI32}},
+                     [target](wasm::HostContext& ctx, std::span<const wasm::Value> args)
+                         -> Result<std::optional<wasm::Value>> {
+                       TypedValue arg{ValType::kI32, args[0]};
+                       auto r = ctx.instance.call(target,
+                                                  std::span<const TypedValue>(&arg, 1));
+                       if (!r.ok()) return r.error();
+                       return std::optional<wasm::Value>((*r)->value);
+                     }});
+  return linker;
+}
+
+/// sum of odd numbers <= n via loop + br_if + if: a branchy body whose
+/// retired-instruction count is input-dependent (fuel-accounting tests).
+inline ModuleBuilder branchy_module() {
+  ModuleBuilder mb;
+  FunctionBuilder& f = mb.add_func(FuncType{{ValType::kI32}, {ValType::kI32}}, "sum");
+  uint32_t s = f.add_local(ValType::kI32);
+  f.block()
+      .loop()
+      .local_get(0)
+      .op(Op::kI32Eqz)
+      .br_if(1)
+      .local_get(0)
+      .i32_const(1)
+      .op(Op::kI32And)
+      .if_()
+      .local_get(s)
+      .local_get(0)
+      .op(Op::kI32Add)
+      .local_set(s)
+      .end()
+      .local_get(0)
+      .i32_const(1)
+      .op(Op::kI32Sub)
+      .local_set(0)
+      .br(0)
+      .end()
+      .end()
+      .local_get(s)
+      .end();
+  return mb;
 }
 
 }  // namespace waran::wasmtest

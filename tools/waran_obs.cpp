@@ -165,14 +165,15 @@ int run_scenario(const Options& opt) {
 
   // Adversarial burst: corrupt every frame in flight; the RIC's comm
   // plugin rejects them inside the sandbox (anomaly kind frame_rejected).
-  link.set_tap([](std::vector<uint8_t>& frame, bool&) {
+  link.add_fault_stage([](std::vector<uint8_t>& frame, ric::Duplex::Side) {
     if (frame.size() > 14) frame[14] ^= 0x5a;
+    return ric::Duplex::Fault{ric::Duplex::FaultAction::kCorrupt};
   });
   for (int i = 0; i < 5; ++i) {
     if (!agent.send_indication().ok()) return 1;
     if (!ric.poll().ok()) return 1;
   }
-  link.set_tap(nullptr);
+  link.clear_fault_stages();
 
   obs::TraceRing::instance().disable();
 
