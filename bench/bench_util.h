@@ -12,6 +12,7 @@
 
 #include "plugin/manager.h"
 #include "ran/mac.h"
+#include "rt/clock.h"
 #include "sched/plugins.h"
 #include "sched/wasm_sched.h"
 #include "wasm/wasm.h"
@@ -34,11 +35,7 @@ inline std::unique_ptr<wasm::Instance> instantiate_w(const char* src,
   return std::move(*inst);
 }
 
-inline double now_us() {
-  return std::chrono::duration<double, std::micro>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
+inline double now_us() { return static_cast<double>(rt::now_ns()) / 1000.0; }
 
 /// Installs the named scheduler plugin (rr/pf/mt) into `mgr` under `slot`,
 /// aborting the bench on failure.

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Clock-injection lint: everything above the runtime layer must read time
+# through waran::rt::Clock (src/rt/clock.h), never std::chrono clocks
+# directly. Direct clock reads break virtual-time campaigns — they pin code
+# to wall time, so deterministic faster-than-real-time runs silently go
+# nondeterministic. Only the rt layer itself (which wraps the real clock)
+# and src/common (below rt in the layer stack) may call the raw clocks.
+#
+# Run from the repo root. Exits non-zero listing every offending line.
+set -u
+
+cd "$(dirname "$0")/.."
+
+pattern='(steady_clock|system_clock|high_resolution_clock)::now'
+
+hits=$(grep -rEn "$pattern" \
+  --include='*.cpp' --include='*.h' --include='*.inc' \
+  src tests tools bench examples 2>/dev/null |
+  grep -v '^src/rt/' |
+  grep -v '^src/common/')
+
+if [ -n "$hits" ]; then
+  echo "clock lint: raw std::chrono clock reads outside src/rt/ and src/common/:" >&2
+  echo "$hits" >&2
+  echo "use waran::rt::now_ns() (src/rt/clock.h) instead." >&2
+  exit 1
+fi
+
+echo "clock lint: OK (no raw clock reads outside src/rt/ and src/common/)"

@@ -17,6 +17,8 @@
 #include "ric/plugin_sources.h"
 #include "ric/quota_inter.h"
 #include "ric/transport.h"
+#include "rt/clock.h"
+#include "rt/deployment.h"
 #include "sched/plugins.h"
 #include "sched/wasm_sched.h"
 #include "wcc/compiler.h"
@@ -62,10 +64,10 @@ export fn work() -> i32 {
 class ChaosIntraScheduler final : public ran::IntraSliceScheduler {
  public:
   ChaosIntraScheduler(std::unique_ptr<ran::IntraSliceScheduler> inner, FaultPlan& plan,
-                      uint32_t slice_id)
+                      uint32_t slice_id, const std::string& site_prefix = "")
       : inner_(std::move(inner)),
         plan_(plan),
-        site_("slice " + std::to_string(slice_id)),
+        site_(site_prefix + "slice " + std::to_string(slice_id)),
         name_(std::string("chaos:") + inner_->name()) {}
 
   Result<codec::SchedResponse> schedule(const codec::SchedRequest& req) override {
@@ -115,11 +117,109 @@ constexpr Mvno kMvnos[] = {
     {3, "fair-co", "pf", 10e6},
 };
 
+/// Call-site interceptor drawing from `plan` for the named domain; shared
+/// by the single-cell scenario and the per-cell managers of a multi-cell
+/// deployment. Only `eligible` slots are touched.
+plugin::PluginManager::CallInterceptor make_call_interceptor(
+    FaultPlan& plan, std::string domain, std::set<std::string> eligible,
+    bool allow_deadline) {
+  return [&plan, domain = std::move(domain), eligible = std::move(eligible),
+          allow_deadline](const std::string& slot,
+                          const std::string&) -> plugin::PluginManager::CallIntercept {
+    plugin::PluginManager::CallIntercept out;
+    if (!eligible.contains(slot)) return out;
+    auto fault = plan.draw_call(domain, slot, allow_deadline);
+    if (!fault) return out;
+    switch (fault->kind) {
+      case FaultKind::kFuelStarve:
+        out.fuel = 1;  // first block charge exhausts: real engine trap
+        break;
+      case FaultKind::kDeadlineOverrun:
+        // 1 ns deadline, with a small fuel backstop in case the call
+        // retires fewer instructions than the deadline poll stride — either
+        // way the engine reports genuine exhaustion. Under virtual time the
+        // deadline never expires (the clock is frozen mid-slot), so the
+        // backstop is the mechanism that lands the fault.
+        out.deadline_ns = 1;
+        out.fuel = 24;
+        break;
+      default:
+        out.fail = Error::trap("chaos: injected trap");
+        break;
+    }
+    return out;
+  };
+}
+
+/// Duplex fault stage drawing from `plan` (one draw per frame in flight).
+ric::Duplex::FaultStage make_link_stage(FaultPlan& plan) {
+  return [&plan](std::vector<uint8_t>& frame,
+                 ric::Duplex::Side) -> ric::Duplex::Fault {
+    auto fault = plan.draw_link();
+    if (!fault) return {};
+    switch (fault->kind) {
+      case FaultKind::kLinkCorrupt: {
+        // Flip one payload bit (past the 12-byte magic/len/checksum
+        // header) so the sandboxed unframe rejects on checksum — never a
+        // wild length that could send the plugin reading out of bounds.
+        size_t lo = frame.size() > 12 ? 12 : 0;
+        size_t off = lo + fault->entropy % (frame.size() - lo);
+        frame[off] ^= static_cast<uint8_t>(1u << ((fault->entropy >> 32) % 8));
+        return {ric::Duplex::FaultAction::kCorrupt};
+      }
+      case FaultKind::kLinkDrop:
+        return {ric::Duplex::FaultAction::kDrop};
+      case FaultKind::kLinkDuplicate:
+        return {ric::Duplex::FaultAction::kDuplicate};
+      default:
+        return {ric::Duplex::FaultAction::kReorder,
+                static_cast<uint32_t>(1 + fault->entropy % 3)};
+    }
+  };
+}
+
+/// The zero-alloc warm-call probe (invariant 5), independent of topology.
+void run_warm_probe(EpisodeReport& rep,
+                    const std::function<void(bool, std::string)>& expect) {
+  auto probe_bytes = wcc::compile(kProbeSource);
+  auto probe = probe_bytes.ok() ? plugin::Plugin::load(*probe_bytes)
+                                : Result<std::unique_ptr<plugin::Plugin>>(
+                                      Error::internal("probe compile failed"));
+  expect(probe.ok(), "warm-path probe plugin failed to load");
+  if (!probe.ok()) return;
+  wasm::CallOptions copts;
+  copts.fuel = 100'000;
+  wasm::CallStats cstats;
+  bool ok = true;
+  for (int i = 0; i < 4; ++i) {
+    ok = ok && (*probe)->instance().call("work", {}, copts, &cstats).ok();
+  }
+  const uint64_t before = heap_probe::allocations();
+  for (int i = 0; i < 64; ++i) {
+    ok = ok && (*probe)->instance().call("work", {}, copts, &cstats).ok();
+  }
+  rep.warm_heap_allocs = heap_probe::allocations() - before;
+  expect(ok, "warm-path probe call failed");
+  expect(rep.warm_heap_allocs == 0,
+         "warm Instance::call touched the heap " +
+             std::to_string(rep.warm_heap_allocs) + " time(s)");
+}
+
+EpisodeReport run_multicell_episode(const EpisodeOptions& options);
+
 }  // namespace
 
 EpisodeReport run_episode(const EpisodeOptions& options) {
+  if (options.cells > 1) return run_multicell_episode(options);
+
   EpisodeReport rep;
   rep.seed = options.seed;
+
+  // Virtual time for the whole episode: the stack reads a frozen clock that
+  // only the round loop advances, so the episode runs flat out and every
+  // timestamp (trace, journal) is a pure function of the seed.
+  std::optional<rt::VirtualClockGuard> vclock;
+  if (options.virtual_time) vclock.emplace(0);
 
   auto expect = [&rep](bool ok, std::string what) {
     if (!ok) rep.violations.push_back(std::move(what));
@@ -198,39 +298,12 @@ EpisodeReport run_episode(const EpisodeOptions& options) {
   // xApp (RIC skips it). The comm slots stay clean — failing them would
   // double-count (a comm trap plus the resulting frame rejection) — and so
   // do grower (its fault site is memory.grow) and the probe.
-  auto make_interceptor = [&plan](std::string domain, std::set<std::string> eligible,
-                                  bool allow_deadline) {
-    return [&plan, domain = std::move(domain), eligible = std::move(eligible),
-            allow_deadline](const std::string& slot,
-                            const std::string&) -> plugin::PluginManager::CallIntercept {
-      plugin::PluginManager::CallIntercept out;
-      if (!eligible.contains(slot)) return out;
-      auto fault = plan.draw_call(domain, slot, allow_deadline);
-      if (!fault) return out;
-      switch (fault->kind) {
-        case FaultKind::kFuelStarve:
-          out.fuel = 1;  // first block charge exhausts: real engine trap
-          break;
-        case FaultKind::kDeadlineOverrun:
-          // 1 ns deadline, with a small fuel backstop in case the call
-          // retires fewer instructions than the deadline poll stride —
-          // either way the engine reports genuine exhaustion.
-          out.deadline_ns = 1;
-          out.fuel = 24;
-          break;
-        default:
-          out.fail = Error::trap("chaos: injected trap");
-          break;
-      }
-      return out;
-    };
-  };
-  mgr.set_call_interceptor(
-      make_interceptor("mac", {"iot-co", "stream-co", "fair-co"}, /*allow_deadline=*/true));
-  agent.plugins().set_call_interceptor(
-      make_interceptor(agent.plugins().domain(), {"ctl"}, /*allow_deadline=*/false));
+  mgr.set_call_interceptor(make_call_interceptor(
+      plan, "mac", {"iot-co", "stream-co", "fair-co"}, /*allow_deadline=*/true));
+  agent.plugins().set_call_interceptor(make_call_interceptor(
+      plan, agent.plugins().domain(), {"ctl"}, /*allow_deadline=*/false));
   ric.plugins().set_call_interceptor(
-      make_interceptor("ric", {"xapp:sla"}, /*allow_deadline=*/false));
+      make_call_interceptor(plan, "ric", {"xapp:sla"}, /*allow_deadline=*/false));
 
   bool fail_next_load = false;
   mgr.set_load_interceptor([&fail_next_load](const std::string&) -> std::optional<Error> {
@@ -244,29 +317,7 @@ EpisodeReport run_episode(const EpisodeOptions& options) {
     return plan.draw_slot_overrun(mac.slot()) ? budget_ns + 1'000'000 : 0;
   });
 
-  link.add_fault_stage([&plan](std::vector<uint8_t>& frame,
-                               ric::Duplex::Side) -> ric::Duplex::Fault {
-    auto fault = plan.draw_link();
-    if (!fault) return {};
-    switch (fault->kind) {
-      case FaultKind::kLinkCorrupt: {
-        // Flip one payload bit (past the 12-byte magic/len/checksum
-        // header) so the sandboxed unframe rejects on checksum — never a
-        // wild length that could send the plugin reading out of bounds.
-        size_t lo = frame.size() > 12 ? 12 : 0;
-        size_t off = lo + fault->entropy % (frame.size() - lo);
-        frame[off] ^= static_cast<uint8_t>(1u << ((fault->entropy >> 32) % 8));
-        return {ric::Duplex::FaultAction::kCorrupt};
-      }
-      case FaultKind::kLinkDrop:
-        return {ric::Duplex::FaultAction::kDrop};
-      case FaultKind::kLinkDuplicate:
-        return {ric::Duplex::FaultAction::kDuplicate};
-      default:
-        return {ric::Duplex::FaultAction::kReorder,
-                static_cast<uint32_t>(1 + fault->entropy % 3)};
-    }
-  });
+  link.add_fault_stage(make_link_stage(plan));
 
   const std::array<plugin::PluginManager*, 3> managers = {&mgr, &agent.plugins(),
                                                           &ric.plugins()};
@@ -314,6 +365,13 @@ EpisodeReport run_episode(const EpisodeOptions& options) {
     tolerate(ric.poll());
     tolerate(agent.poll());
 
+    // Under virtual time the round's slots all executed at one frozen
+    // instant; move the clock to the next report boundary.
+    if (options.virtual_time) {
+      rt::Clock::global().advance_ns(static_cast<uint64_t>(options.slots_per_round) *
+                                     cfg.slot_us * 1000);
+    }
+
     // Lift quarantines (operator intervention) so every round starts with
     // live slots; only latched slots are touched, so in-flight fault
     // sequences keep their consecutive counts.
@@ -333,31 +391,7 @@ EpisodeReport run_episode(const EpisodeOptions& options) {
   mac.set_slot_time_padding(nullptr);
 
   // --- Warm-call probe ----------------------------------------------------
-  if (options.warm_path_probe) {
-    auto probe_bytes = wcc::compile(kProbeSource);
-    auto probe = probe_bytes.ok() ? plugin::Plugin::load(*probe_bytes)
-                                  : Result<std::unique_ptr<plugin::Plugin>>(
-                                        Error::internal("probe compile failed"));
-    expect(probe.ok(), "warm-path probe plugin failed to load");
-    if (probe.ok()) {
-      wasm::CallOptions copts;
-      copts.fuel = 100'000;
-      wasm::CallStats cstats;
-      bool ok = true;
-      for (int i = 0; i < 4; ++i) {
-        ok = ok && (*probe)->instance().call("work", {}, copts, &cstats).ok();
-      }
-      const uint64_t before = heap_probe::allocations();
-      for (int i = 0; i < 64; ++i) {
-        ok = ok && (*probe)->instance().call("work", {}, copts, &cstats).ok();
-      }
-      rep.warm_heap_allocs = heap_probe::allocations() - before;
-      expect(ok, "warm-path probe call failed");
-      expect(rep.warm_heap_allocs == 0,
-             "warm Instance::call touched the heap " +
-                 std::to_string(rep.warm_heap_allocs) + " time(s)");
-    }
-  }
+  if (options.warm_path_probe) run_warm_probe(rep, expect);
 
   // --- Invariants ---------------------------------------------------------
   auto snapshot = journal.snapshot();
@@ -430,7 +464,9 @@ EpisodeReport run_episode(const EpisodeOptions& options) {
     uint64_t granted = 0;
     for (const Mvno& m : kMvnos) {
       std::string sid = std::to_string(m.slice_id);
-      granted += reg.counter("waran_mac_prb_granted_total", {{"slice", sid}}).value();
+      granted += reg.counter("waran_mac_prb_granted_total",
+                             {{"cell", "0"}, {"slice", sid}})
+                     .value();
     }
     expect(granted <= static_cast<uint64_t>(cfg.n_prbs) * rep.slots,
            "PRB conservation violated: " + std::to_string(granted) + " granted over " +
@@ -472,6 +508,244 @@ EpisodeReport run_episode(const EpisodeOptions& options) {
   rep.passed = rep.violations.empty();
   return rep;
 }
+
+namespace {
+
+// Multi-cell episode: the same invariant suite run against a threaded
+// rt::GnbDeployment — N cells on N worker threads, one shared RIC — with
+// one independent FaultPlan per cell. Scope is the cell-local fault
+// surface (scheduler output/call faults, slot overruns, per-link E2
+// faults); the lifecycle sites (grower, hot swap, ctl/xApp call faults)
+// stay with the single-cell episode, which exercises them without the
+// cross-cell accounting ambiguity.
+EpisodeReport run_multicell_episode(const EpisodeOptions& options) {
+  EpisodeReport rep;
+  rep.seed = options.seed;
+
+  auto expect = [&rep](bool ok, std::string what) {
+    if (!ok) rep.violations.push_back(std::move(what));
+  };
+
+  auto& journal = obs::AnomalyJournal::global();
+  journal.set_capacity(1 << 16);
+  journal.clear();
+  auto& reg = obs::MetricsRegistry::global();
+  reg.reset_values();
+
+  // One plan per cell, derived deterministically from the master seed, so
+  // each cell's fault schedule is independent and the whole episode still
+  // replays from `--seed` alone.
+  std::vector<std::unique_ptr<FaultPlan>> plans;
+  for (uint32_t i = 0; i < options.cells; ++i) {
+    plans.push_back(std::make_unique<FaultPlan>(
+        options.seed ^ (0x9e3779b97f4a7c15ULL * (i + 1)), options.plan));
+  }
+
+  rt::DeploymentConfig dc;
+  dc.cells = options.cells;
+  dc.seed = options.seed;
+  dc.threaded = true;
+  dc.virtual_time = options.virtual_time;
+  dc.report_period_slots = options.slots_per_round;
+  // Slot budget of one full second (the single-cell harness convention):
+  // every kSlotOverrun anomaly in the episode is an injected one.
+  dc.mac.slot_us = 1'000'000;
+  dc.decorate_scheduler = [&plans](std::unique_ptr<ran::IntraSliceScheduler> inner,
+                                   uint32_t cell, uint32_t slice_id) {
+    return std::make_unique<ChaosIntraScheduler>(std::move(inner), *plans[cell],
+                                                 slice_id,
+                                                 "cell" + std::to_string(cell) + " ");
+  };
+  rt::GnbDeployment dep(dc);
+  if (!dep.status().ok()) {
+    expect(false, "deployment construction failed: " + dep.status().error().message);
+    return rep;
+  }
+
+  // --- Chaos hooks, one set per cell --------------------------------------
+  // Each hook draws from its own cell's plan only; the barrier-stepped
+  // schedule means a plan is touched either by its cell's worker (step
+  // phase) or by the coordinator (RIC control sends while the workers are
+  // parked), never both at once.
+  const uint64_t budget_ns = static_cast<uint64_t>(dc.mac.slot_us) * 1000;
+  std::set<std::string> slice_slots;
+  for (const auto& s : dc.slices) slice_slots.insert(s.name);
+  for (uint32_t i = 0; i < options.cells; ++i) {
+    FaultPlan& plan = *plans[i];
+    dep.sched_plugins(i).set_call_interceptor(make_call_interceptor(
+        plan, "mac" + std::to_string(i), slice_slots, /*allow_deadline=*/true));
+    ran::GnbMac& mac = dep.mac(i);
+    mac.set_slot_time_padding([&plan, &mac, budget_ns]() -> uint64_t {
+      return plan.draw_slot_overrun(mac.slot()) ? budget_ns + 1'000'000 : 0;
+    });
+    dep.link(i).add_fault_stage(make_link_stage(plan));
+  }
+
+  // --- Episode loop: barrier-stepped rounds; quarantines are lifted
+  // --- between rounds while every worker is parked at the idle barrier.
+  for (uint32_t round = 0; round < options.rounds; ++round) {
+    Status st = dep.run_slots(options.slots_per_round);
+    if (!st.ok()) {
+      expect(false, "deployment.run_slots failed: " + st.error().message);
+      break;
+    }
+    for (uint32_t i = 0; i < options.cells; ++i) {
+      plugin::PluginManager& m = dep.sched_plugins(i);
+      for (const std::string& s : m.slot_names()) {
+        const plugin::SlotHealth* h = m.health(s);
+        if (h != nullptr && h->quarantined) (void)m.reset_quarantine(s);
+      }
+    }
+  }
+  const uint64_t per_cell_slots = dep.slots_run();
+  rep.slots = per_cell_slots * options.cells;
+
+  // --- Drain: stop injecting, land everything in flight -------------------
+  for (auto& p : plans) p->set_active(false);
+  for (uint32_t i = 0; i < options.cells; ++i) dep.link(i).flush_delayed();
+  Status rs = dep.ric().poll();
+  if (!rs.ok()) ++rep.contained_errors;
+  for (uint32_t i = 0; i < options.cells; ++i) {
+    Status ps = dep.agent(i).poll();
+    if (!ps.ok()) ++rep.contained_errors;
+    dep.mac(i).set_slot_time_padding(nullptr);
+  }
+
+  // --- Warm-call probe ----------------------------------------------------
+  if (options.warm_path_probe) run_warm_probe(rep, expect);
+
+  // --- Invariants ----------------------------------------------------------
+  auto snapshot = journal.snapshot();
+  rep.anomalies = journal.total();
+  auto sum_count = [&plans](FaultKind k) {
+    uint64_t n = 0;
+    for (const auto& p : plans) n += p->count(k);
+    return n;
+  };
+  for (const auto& p : plans) {
+    rep.injections += p->total();
+    rep.injection_log.insert(rep.injection_log.end(), p->log().begin(),
+                             p->log().end());
+  }
+  for (size_t k = 0; k < kFaultKindCount; ++k) {
+    rep.injected_by_kind[k] = sum_count(static_cast<FaultKind>(k));
+  }
+
+  expect(snapshot.size() == journal.total(), "anomaly journal overflowed its capacity");
+
+  std::map<obs::AnomalyKind, uint64_t> by_kind;
+  std::map<std::string, uint64_t> sanitized_by_domain;
+  for (const auto& r : snapshot) {
+    ++by_kind[r.kind];
+    if (r.kind == obs::AnomalyKind::kSanitized) ++sanitized_by_domain[r.domain];
+  }
+  auto eq = [&expect](uint64_t got, uint64_t want, const std::string& what) {
+    expect(got == want, what + ": got " + std::to_string(got) + ", want " +
+                            std::to_string(want));
+  };
+
+  // 1:1 fault -> anomaly accounting, kind by kind, summed across cells.
+  eq(by_kind[obs::AnomalyKind::kTrap], sum_count(FaultKind::kForceTrap),
+     "kTrap anomalies vs injected traps");
+  eq(by_kind[obs::AnomalyKind::kFuelExhausted],
+     sum_count(FaultKind::kFuelStarve) + sum_count(FaultKind::kDeadlineOverrun),
+     "kFuelExhausted anomalies vs injected starvations");
+  eq(by_kind[obs::AnomalyKind::kQuarantine], sum_count(FaultKind::kQuarantineStorm),
+     "kQuarantine anomalies vs completed storms");
+  eq(by_kind[obs::AnomalyKind::kSlotOverrun], sum_count(FaultKind::kSlotOverrun),
+     "kSlotOverrun anomalies vs injected overruns");
+  eq(by_kind[obs::AnomalyKind::kFrameRejected], sum_count(FaultKind::kLinkCorrupt),
+     "kFrameRejected anomalies vs corrupted frames");
+  eq(by_kind[obs::AnomalyKind::kSanitized], sum_count(FaultKind::kSchedGarbage),
+     "kSanitized anomalies vs injected garbage responses");
+  eq(by_kind[obs::AnomalyKind::kLoadFailed], 0, "unexpected kLoadFailed anomalies");
+  eq(by_kind[obs::AnomalyKind::kDecline], 0, "unexpected kDecline anomalies");
+  eq(by_kind[obs::AnomalyKind::kOther], 0, "unexpected kOther anomalies");
+
+  // Per-cell attribution: each cell's sanitizations land in its own MAC
+  // domain, so cross-thread accounting never smears between shards.
+  for (uint32_t i = 0; i < options.cells; ++i) {
+    eq(sanitized_by_domain["mac" + std::to_string(i)],
+       plans[i]->count(FaultKind::kSchedGarbage),
+       "cell " + std::to_string(i) + " kSanitized anomalies vs its plan");
+  }
+
+  // Per-link conservation and fault accounting.
+  for (uint32_t i = 0; i < options.cells; ++i) {
+    ric::Duplex& link = dep.link(i);
+    const std::string ci = "cell " + std::to_string(i) + " ";
+    eq(link.frames_corrupted(), plans[i]->count(FaultKind::kLinkCorrupt),
+       ci + "link corruption counter vs plan");
+    eq(link.frames_dropped(), plans[i]->count(FaultKind::kLinkDrop),
+       ci + "link drop counter vs plan");
+    eq(link.frames_duplicated(), plans[i]->count(FaultKind::kLinkDuplicate),
+       ci + "link duplicate counter vs plan");
+    eq(link.frames_reordered(), plans[i]->count(FaultKind::kLinkReorder),
+       ci + "link reorder counter vs plan");
+    eq(link.frames_sent() + link.frames_duplicated(),
+       link.frames_delivered() + link.frames_dropped(),
+       ci + "link frame conservation");
+    eq(link.delayed_in_flight(), 0, ci + "frames still held after drain");
+    eq(link.pending(ric::Duplex::Side::kA) + link.pending(ric::Duplex::Side::kB), 0,
+       ci + "frames still queued after drain");
+  }
+
+  // PRB conservation per cell: grants never exceed carrier capacity.
+  for (uint32_t i = 0; i < options.cells; ++i) {
+    uint64_t granted = 0;
+    std::string cell_label = std::to_string(i);
+    for (const auto& s : dc.slices) {
+      std::string sid = std::to_string(s.slice_id);
+      granted += reg.counter("waran_mac_prb_granted_total",
+                             {{"cell", cell_label}, {"slice", sid}})
+                     .value();
+    }
+    expect(granted <= static_cast<uint64_t>(dc.mac.n_prbs) * per_cell_slots,
+           "cell " + cell_label + " PRB conservation violated: " +
+               std::to_string(granted) + " granted over " +
+               std::to_string(per_cell_slots) + " slots of " +
+               std::to_string(dc.mac.n_prbs));
+  }
+  eq(reg.counter("waran_mac_slots_total").value(), rep.slots,
+     "MAC slot counter across cells");
+  eq(reg.counter("waran_mac_slot_overrun_total").value(),
+     sum_count(FaultKind::kSlotOverrun), "MAC slot-overrun counter vs plans");
+
+  // Cross-layer accounting balance across every shard's manager, the
+  // agents and the shared RIC.
+  std::vector<plugin::PluginManager*> managers;
+  for (uint32_t i = 0; i < options.cells; ++i) {
+    managers.push_back(&dep.sched_plugins(i));
+    managers.push_back(&dep.agent(i).plugins());
+  }
+  managers.push_back(&dep.ric().plugins());
+  uint64_t traps_sum = 0;
+  uint64_t fuel_sum = 0;
+  for (plugin::PluginManager* m : managers) {
+    for (const std::string& s : m->slot_names()) {
+      const plugin::SlotHealth* h = m->health(s);
+      const CallCostAcc* c = m->cost(s);
+      if (h == nullptr || c == nullptr) continue;
+      std::string where = m->domain() + "/" + s;
+      eq(c->calls(), h->calls, "cost.calls vs health.calls for " + where);
+      eq(reg.counter("waran_plugin_calls_total", {{"domain", m->domain()}, {"slot", s}})
+             .value(),
+         h->calls, "calls_total counter vs health for " + where);
+      eq(h->faults, h->traps + h->fuel_exhaustions, "fault breakdown for " + where);
+      traps_sum += h->traps;
+      fuel_sum += h->fuel_exhaustions;
+    }
+  }
+  eq(traps_sum, sum_count(FaultKind::kForceTrap),
+     "summed slot traps vs injected traps");
+  eq(fuel_sum, sum_count(FaultKind::kFuelStarve) + sum_count(FaultKind::kDeadlineOverrun),
+     "summed fuel exhaustions vs injected starvations");
+
+  rep.passed = rep.violations.empty();
+  return rep;
+}
+
+}  // namespace
 
 CampaignReport run_campaign(uint64_t base_seed, uint32_t episodes,
                             const EpisodeOptions& base) {

@@ -36,6 +36,16 @@ struct EpisodeOptions {
   uint32_t slots_per_round = 15; ///< MAC slots between indications
   PlanConfig plan;
   bool warm_path_probe = true;   ///< run the zero-alloc warm-call probe
+  /// Cells in the gNB (cells > 1 runs the episode against a threaded
+  /// rt::GnbDeployment with one FaultPlan per cell, scoped to the fault
+  /// kinds that are cell-local: scheduler output/call faults, slot
+  /// overruns, and per-link E2 faults).
+  uint32_t cells = 1;
+  /// Run the episode on rt::Clock virtual time: the campaign executes as
+  /// fast as the CPU allows (no wall-clock pacing or clock syscalls) and
+  /// timing-dependent faults stay deterministic — deadline overruns land
+  /// via the fuel backstop, slot overruns via injected padding.
+  bool virtual_time = false;
 };
 
 struct EpisodeReport {

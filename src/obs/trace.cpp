@@ -1,22 +1,20 @@
 #include "obs/trace.h"
 
 #include <bit>
-#include <chrono>
 #include <cstdio>
 #include <cstring>
 
 #include "common/log.h"
+#include "rt/clock.h"
 
 namespace waran::obs {
 
 namespace {
 
-std::atomic<uint64_t> g_current_slot{0};
-
-std::chrono::steady_clock::time_point trace_epoch() {
-  static const auto epoch = std::chrono::steady_clock::now();
-  return epoch;
-}
+// Per-thread: every cell worker maintains its own slot counter and ring
+// binding; the defaults preserve the single-threaded behavior.
+thread_local uint64_t t_current_slot = 0;
+thread_local TraceRing* t_current_ring = nullptr;
 
 void append_json_escaped(std::string& out, std::string_view s) {
   for (char c : s) {
@@ -58,22 +56,22 @@ const char* to_string(TraceCat cat) {
   return "other";
 }
 
-uint64_t now_ns() {
-  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
-                                   std::chrono::steady_clock::now() - trace_epoch())
-                                   .count());
-}
+uint64_t now_ns() { return rt::now_ns(); }
 
-void set_current_slot(uint64_t slot) {
-  g_current_slot.store(slot, std::memory_order_relaxed);
-}
+void set_current_slot(uint64_t slot) { t_current_slot = slot; }
 
-uint64_t current_slot() { return g_current_slot.load(std::memory_order_relaxed); }
+uint64_t current_slot() { return t_current_slot; }
 
 TraceRing& TraceRing::instance() {
   static TraceRing ring;
   return ring;
 }
+
+TraceRing& TraceRing::current() {
+  return t_current_ring != nullptr ? *t_current_ring : instance();
+}
+
+void TraceRing::bind_current(TraceRing* ring) { t_current_ring = ring; }
 
 void TraceRing::enable(size_t capacity) {
   if (capacity < 2) capacity = 2;
@@ -81,7 +79,7 @@ void TraceRing::enable(size_t capacity) {
   buf_.assign(capacity, TraceEvent{});
   mask_ = capacity - 1;
   head_.store(0, std::memory_order_relaxed);
-  trace_epoch();  // pin the epoch no later than the first event
+  rt::Clock::global();  // pin the real-time epoch no later than the first event
   enabled_.store(true, std::memory_order_release);
 }
 
@@ -106,6 +104,27 @@ void TraceRing::record(TraceCat cat, std::string_view name, uint64_t t_ns,
   const size_t n = name.size() < sizeof(ev.name) - 1 ? name.size() : sizeof(ev.name) - 1;
   std::memcpy(ev.name, name.data(), n);
   ev.name[n] = '\0';
+}
+
+uint64_t TraceRing::content_hash() const {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](const void* data, size_t n) {
+    const unsigned char* p = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < n; ++i) {
+      h ^= p[i];
+      h *= 0x100000001b3ULL;
+    }
+  };
+  for (const TraceEvent& ev : snapshot()) {
+    mix(&ev.t_ns, sizeof(ev.t_ns));
+    mix(&ev.dur_ns, sizeof(ev.dur_ns));
+    mix(&ev.slot, sizeof(ev.slot));
+    mix(&ev.arg, sizeof(ev.arg));
+    mix(&ev.cat, sizeof(ev.cat));
+    mix(&ev.phase, sizeof(ev.phase));
+    mix(ev.name, std::strlen(ev.name));
+  }
+  return h;
 }
 
 std::vector<TraceEvent> TraceRing::snapshot() const {
@@ -162,7 +181,7 @@ void log_trace_hook(LogLevel lvl, std::string_view component, std::string_view m
   char name[26];
   std::snprintf(name, sizeof(name), "%.8s: %.14s", std::string(component).c_str(),
                 std::string(msg).c_str());
-  TraceRing::instance().instant(TraceCat::kLog, name);
+  TraceRing::current().instant(TraceCat::kLog, name);
 }
 
 }  // namespace

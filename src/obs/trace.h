@@ -1,6 +1,10 @@
 // waran::obs trace ring — slot-aligned span tracing for the whole stack.
 //
-// A single process-wide, lock-free, fixed-capacity ring of POD span events.
+// A lock-free, fixed-capacity ring of POD span events. There is one
+// process-wide default ring (instance()); a multi-cell deployment gives
+// each cell its own ring and binds it per worker thread (bind_current), so
+// concurrent cells produce independent, deterministic per-cell streams
+// that are merged at export.
 // Layers record *complete* spans (begin timestamp + duration, Chrome phase
 // 'X') through the RAII ObsSpan helper, or instant events (phase 'i') for
 // logs and anomalies. Every event carries the current MAC slot number
@@ -54,19 +58,33 @@ struct TraceEvent {
 };
 static_assert(sizeof(TraceEvent) == 56, "keep ring entries compact");
 
-/// Monotonic timestamp for trace events (ns since a fixed process epoch).
+/// Monotonic timestamp for trace events (ns since a fixed process epoch, or
+/// virtual time when rt::Clock runs in virtual mode — see rt/clock.h).
 uint64_t now_ns();
 
-/// Slot alignment: the MAC slot loop (or a bench) publishes the slot number
-/// it is executing; every subsequent event records it. Relaxed atomics so a
-/// multi-threaded harness cannot fault; the slot loop itself is
-/// single-threaded by design.
+/// Slot alignment: the slot loop publishes the slot number it is executing;
+/// every subsequent event on that thread records it. Thread-local, because
+/// a multi-cell deployment runs one slot loop per worker thread and the
+/// cells' slot counters are independent.
 void set_current_slot(uint64_t slot);
 uint64_t current_slot();
 
 class TraceRing {
  public:
+  /// Per-cell rings are plain objects; the process-wide default ring is
+  /// instance(). Arm with enable() before use either way.
+  TraceRing() = default;
+
   static TraceRing& instance();
+
+  /// The calling thread's bound ring — instance() unless bind_current()
+  /// pointed the thread elsewhere. All span/instant recording goes through
+  /// this, so a multi-cell deployment gets one deterministic event stream
+  /// per cell instead of a nondeterministic interleaving in a shared ring.
+  static TraceRing& current();
+  /// Binds `ring` as this thread's recording target (nullptr rebinds
+  /// instance()). The deployment brackets every cell task with this.
+  static void bind_current(TraceRing* ring);
 
   /// Arms the ring with `capacity` entries (rounded up to a power of two).
   /// Allocates once, here — never on the record path.
@@ -92,6 +110,10 @@ class TraceRing {
     record(cat, name, now_ns(), 0, arg, 'i');
   }
 
+  /// FNV-1a over the retained events (oldest first), covering every field.
+  /// Under virtual time this is a deterministic fingerprint of the ring.
+  uint64_t content_hash() const;
+
   /// Retained events, oldest first. Not synchronized with concurrent
   /// writers (snapshot from the thread that drives the scenario, or after
   /// quiescence).
@@ -105,7 +127,6 @@ class TraceRing {
   void clear() { head_.store(0, std::memory_order_relaxed); }
 
  private:
-  TraceRing() = default;
   std::vector<TraceEvent> buf_;
   size_t mask_ = 0;
   std::atomic<uint64_t> head_{0};
@@ -119,8 +140,9 @@ class TraceRing {
 class ObsSpan {
  public:
   ObsSpan(TraceCat cat, std::string_view name, uint32_t arg = 0) {
-    if (TraceRing::instance().enabled()) {
-      armed_ = true;
+    TraceRing& ring = TraceRing::current();
+    if (ring.enabled()) {
+      ring_ = &ring;
       cat_ = cat;
       name_ = name;
       arg_ = arg;
@@ -128,8 +150,8 @@ class ObsSpan {
     }
   }
   ~ObsSpan() {
-    if (armed_) {
-      TraceRing::instance().record(cat_, name_, t0_, now_ns() - t0_, arg_, 'X');
+    if (ring_ != nullptr) {
+      ring_->record(cat_, name_, t0_, now_ns() - t0_, arg_, 'X');
     }
   }
   ObsSpan(const ObsSpan&) = delete;
@@ -139,7 +161,7 @@ class ObsSpan {
   void set_arg(uint32_t arg) { arg_ = arg; }
 
  private:
-  bool armed_ = false;
+  TraceRing* ring_ = nullptr;  // non-null iff armed
   TraceCat cat_ = TraceCat::kOther;
   std::string_view name_;
   uint32_t arg_ = 0;

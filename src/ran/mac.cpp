@@ -25,7 +25,7 @@ void GnbMac::add_slice(const SliceConfig& config,
   state.scheduler = std::move(scheduler);
   auto& reg = obs::MetricsRegistry::global();
   std::string id = std::to_string(config.slice_id);
-  obs::Labels labels = {{"slice", id}};
+  obs::Labels labels = {{"cell", std::to_string(config_.cell)}, {"slice", id}};
   state.m_prb_granted = &reg.counter("waran_mac_prb_granted_total", labels);
   state.m_sched_faults = &reg.counter("waran_mac_sched_faults_total", labels);
   state.m_sanitized = &reg.counter("waran_mac_sanitized_allocs_total", labels);
@@ -168,7 +168,7 @@ void GnbMac::apply_response(SliceState& slice, const codec::SchedRequest& req,
     // answers "which slice misbehaved in which slot", the counter above
     // carries the magnitude.
     obs::AnomalyJournal::global().record(
-        obs::AnomalyKind::kSanitized, "mac",
+        obs::AnomalyKind::kSanitized, config_.domain,
         "slice " + std::to_string(slice.config.slice_id),
         std::to_string(sanitized_here) + " grant(s) dropped or clamped");
   }
@@ -273,7 +273,7 @@ Status GnbMac::run_slot() {
   if (slot_wall_ns > static_cast<uint64_t>(config_.slot_us) * 1000) {
     m_slot_overruns_->add();
     obs::AnomalyJournal::global().record(
-        obs::AnomalyKind::kSlotOverrun, "mac", "slot",
+        obs::AnomalyKind::kSlotOverrun, config_.domain, "slot",
         "slot processing took " + std::to_string(slot_wall_ns) + " ns (budget " +
             std::to_string(static_cast<uint64_t>(config_.slot_us) * 1000) + " ns)");
   }

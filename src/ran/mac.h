@@ -42,6 +42,18 @@ struct MacConfig {
   bool enable_harq = true;
   uint32_t max_harq_attempts = 4;
   uint64_t error_seed = 0x5eed;
+
+  /// Cell identity in a multi-cell gNB deployment (rt::GnbDeployment).
+  /// Stamped as a "cell" label on the per-slice metric series so cells
+  /// sharing one MetricsRegistry stay distinguishable; the unlabeled slot
+  /// aggregates (waran_mac_slots_total etc.) are shared across cells by
+  /// design.
+  uint32_t cell = 0;
+  /// Anomaly-journal domain for this MAC's records. Single-cell embedders
+  /// keep the default; the deployment uses "mac<cell>" so per-domain
+  /// journal sequences stay single-writer (and thus deterministic) when
+  /// cells run on separate worker threads.
+  std::string domain = "mac";
 };
 
 /// Per-slice counters the evaluation reads.

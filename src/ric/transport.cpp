@@ -52,6 +52,7 @@ void Duplex::release_due(Side to) {
 void Duplex::send(Side from, std::vector<uint8_t> frame) {
   obs::ObsSpan span(obs::TraceCat::kTransport, "send",
                     static_cast<uint32_t>(frame.size()));
+  std::lock_guard<std::mutex> lock(mu_);
   const Side to = from == Side::kA ? Side::kB : Side::kA;
   ++frames_sent_;
   TransportMetrics::get().frames.add();
@@ -103,6 +104,7 @@ void Duplex::send(Side from, std::vector<uint8_t> frame) {
 }
 
 std::optional<std::vector<uint8_t>> Duplex::receive(Side side) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto& q = side == Side::kA ? to_a_ : to_b_;
   if (q.empty()) return std::nullopt;
   std::vector<uint8_t> frame = std::move(q.front());
@@ -111,10 +113,12 @@ std::optional<std::vector<uint8_t>> Duplex::receive(Side side) {
 }
 
 size_t Duplex::pending(Side side) const {
+  std::lock_guard<std::mutex> lock(mu_);
   return side == Side::kA ? to_a_.size() : to_b_.size();
 }
 
 void Duplex::flush_delayed() {
+  std::lock_guard<std::mutex> lock(mu_);
   while (!held_a_.empty()) {
     std::vector<uint8_t> frame = std::move(held_a_.front().frame);
     held_a_.pop_front();

@@ -5,11 +5,18 @@
 // drops, duplication, reorder-with-delay) to exercise the communication
 // plugins' sanitization path (§3B: "no malicious packets ... can be
 // injected into the host RIC").
+//
+// Thread safety: every public member takes an internal mutex, so a Duplex
+// may bridge a cell worker thread (GnbAgent side) and the coordinator
+// thread (NearRtRic side) of a multi-cell deployment without external
+// locking. Fault stages run under that lock and must not call back into
+// the same Duplex.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -50,9 +57,13 @@ class Duplex {
   size_t pending(Side side) const;
 
   void add_fault_stage(FaultStage stage) {
+    std::lock_guard<std::mutex> lock(mu_);
     stages_.push_back(std::move(stage));
   }
-  void clear_fault_stages() { stages_.clear(); }
+  void clear_fault_stages() {
+    std::lock_guard<std::mutex> lock(mu_);
+    stages_.clear();
+  }
 
   /// Releases every frame still held for reordering into its destination
   /// queue (in hold order). Call when draining a scenario, so a reordered
@@ -60,14 +71,17 @@ class Duplex {
   void flush_delayed();
 
   /// Frames held back for reordering right now (not yet released).
-  size_t delayed_in_flight() const { return held_a_.size() + held_b_.size(); }
+  size_t delayed_in_flight() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return held_a_.size() + held_b_.size();
+  }
 
-  uint64_t frames_sent() const { return frames_sent_; }
-  uint64_t frames_dropped() const { return frames_dropped_; }
-  uint64_t frames_corrupted() const { return frames_corrupted_; }
-  uint64_t frames_duplicated() const { return frames_duplicated_; }
-  uint64_t frames_reordered() const { return frames_reordered_; }
-  uint64_t frames_delivered() const { return frames_delivered_; }
+  uint64_t frames_sent() const { return read_counter(frames_sent_); }
+  uint64_t frames_dropped() const { return read_counter(frames_dropped_); }
+  uint64_t frames_corrupted() const { return read_counter(frames_corrupted_); }
+  uint64_t frames_duplicated() const { return read_counter(frames_duplicated_); }
+  uint64_t frames_reordered() const { return read_counter(frames_reordered_); }
+  uint64_t frames_delivered() const { return read_counter(frames_delivered_); }
 
  private:
   struct Held {
@@ -75,8 +89,16 @@ class Duplex {
     uint32_t remaining;  // sends toward the same side left before release
   };
 
+  // Both require mu_ held by the caller.
   void enqueue(Side to, std::vector<uint8_t> frame);
   void release_due(Side to);
+
+  uint64_t read_counter(const uint64_t& counter) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return counter;
+  }
+
+  mutable std::mutex mu_;
 
   std::deque<std::vector<uint8_t>> to_a_;
   std::deque<std::vector<uint8_t>> to_b_;

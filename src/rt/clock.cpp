@@ -1,0 +1,38 @@
+#include "rt/clock.h"
+
+#include <chrono>
+
+namespace waran::rt {
+
+namespace {
+
+// Pinned at first use (Clock::global() touches it, so no later than the
+// first timestamp anyone reads) — the same "ns since process trace epoch"
+// contract obs::now_ns has always had.
+std::chrono::steady_clock::time_point process_epoch() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return epoch;
+}
+
+}  // namespace
+
+Clock& Clock::global() {
+  static Clock clock;
+  process_epoch();
+  return clock;
+}
+
+uint64_t Clock::real_ns() const {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now() - process_epoch())
+                                   .count());
+}
+
+void Clock::enable_virtual(uint64_t start_ns) {
+  vnow_.store(start_ns, std::memory_order_relaxed);
+  virtual_.store(true, std::memory_order_seq_cst);
+}
+
+void Clock::disable_virtual() { virtual_.store(false, std::memory_order_seq_cst); }
+
+}  // namespace waran::rt

@@ -1,0 +1,79 @@
+#include "rt/executor.h"
+
+#include <utility>
+
+namespace waran::rt {
+
+CellExecutor::~CellExecutor() { stop(); }
+
+void CellExecutor::start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_) return;
+  stopping_ = false;
+  running_ = true;
+  thread_ = std::thread([this] { loop(); });
+}
+
+void CellExecutor::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  thread_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  running_ = false;
+}
+
+bool CellExecutor::threaded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+void CellExecutor::post(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (running_) {
+      queue_.push_back(std::move(task));
+      work_cv_.notify_one();
+      return;
+    }
+  }
+  // Inline mode: same FIFO schedule, caller's thread.
+  task();
+  std::lock_guard<std::mutex> lock(mu_);
+  ++tasks_run_;
+}
+
+void CellExecutor::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && !busy_; });
+}
+
+uint64_t CellExecutor::tasks_run() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tasks_run_;
+}
+
+void CellExecutor::loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (queue_.empty()) {
+      busy_ = false;
+      idle_cv_.notify_all();
+      if (stopping_) return;
+      work_cv_.wait(lock, [this] { return !queue_.empty() || stopping_; });
+      continue;
+    }
+    std::function<void()> task = std::move(queue_.front());
+    queue_.pop_front();
+    busy_ = true;
+    lock.unlock();
+    task();
+    lock.lock();
+    ++tasks_run_;
+  }
+}
+
+}  // namespace waran::rt

@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "obs/trace.h"
+#include "rt/clock.h"
 
 namespace waran::wasm {
 namespace {
@@ -216,10 +217,10 @@ Result<std::optional<TypedValue>> Instance::call(std::string_view export_name,
     if (*options.fuel > 0) fuel_ = *options.fuel;
   }
   const bool saved_deadline_armed = deadline_armed_;
-  const auto saved_deadline = deadline_;
+  const uint64_t saved_deadline = deadline_ns_;
   if (options.deadline) {
     deadline_armed_ = true;
-    deadline_ = std::chrono::steady_clock::now() + *options.deadline;
+    deadline_ns_ = rt::now_ns() + static_cast<uint64_t>(options.deadline->count());
     poll_countdown_ = kDeadlinePollStride;
   }
 
@@ -229,16 +230,15 @@ Result<std::optional<TypedValue>> Instance::call(std::string_view export_name,
   const uint32_t prev_peak = exec_.peak_frames;
   exec_.peak_frames = static_cast<uint32_t>(exec_.frames.size());
 
-  const auto t0 = std::chrono::steady_clock::now();
+  const uint64_t t0 = rt::now_ns();
   Value result{};
   Status st = invoke(*idx, std::span<const Value>(raw, args.size()), &result);
-  const auto t1 = std::chrono::steady_clock::now();
+  const uint64_t t1 = rt::now_ns();
 
   if (stats != nullptr) {
     stats->instrs_retired = instructions_retired_ - retired_before;
     stats->fuel_used = metered ? fuel_before - fuel_ : stats->instrs_retired;
-    stats->wall_ns = static_cast<uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+    stats->wall_ns = t1 - t0;
     stats->peak_stack_depth = exec_.peak_frames;
   }
   if (exec_.peak_frames < prev_peak) exec_.peak_frames = prev_peak;
@@ -248,7 +248,7 @@ Result<std::optional<TypedValue>> Instance::call(std::string_view export_name,
   }
   if (options.deadline) {
     deadline_armed_ = saved_deadline_armed;
-    deadline_ = saved_deadline;
+    deadline_ns_ = saved_deadline;
     poll_countdown_ = deadline_armed_ ? kDeadlinePollStride : kIdlePollStride;
   }
 

@@ -201,7 +201,11 @@ class Instance {
   uint64_t instructions_retired_ = 0;
 
   bool deadline_armed_ = false;
-  std::chrono::steady_clock::time_point deadline_;
+  /// rt::Clock::global() timestamp past which the call traps. Routed
+  /// through the rt clock (not steady_clock) so virtual-time campaigns are
+  /// deterministic: with a frozen virtual clock a deadline never expires
+  /// and the fuel budget is the only bound.
+  uint64_t deadline_ns_ = 0;
   /// Charge-point countdown to the next deadline poll. While a deadline is
   /// armed it cycles every kDeadlinePollStride charges; unarmed it idles at
   /// kIdlePollStride so the hot path is a single predictable dec-and-test

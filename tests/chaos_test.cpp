@@ -207,6 +207,51 @@ TEST(ChaosEpisode, DifferentSeedsDiverge) {
   EXPECT_FALSE(same) << "seeds 100 and 101 produced identical schedules";
 }
 
+TEST(ChaosEpisode, VirtualTimeReplaysBitForBit) {
+  // Same episode on the rt virtual clock: the timing-dependent fault paths
+  // (deadline overruns via the fuel backstop, slot overruns via injected
+  // padding) must stay fully deterministic with no wall clock involved.
+  EpisodeOptions opts;
+  opts.seed = 77;
+  opts.virtual_time = true;
+  EpisodeReport a = run_episode(opts);
+  EpisodeReport b = run_episode(opts);
+  EXPECT_TRUE(a.passed) << summarize(a);
+  EXPECT_GT(a.injections, 0u);
+  EXPECT_EQ(a.slots, b.slots);
+  EXPECT_EQ(a.injections, b.injections);
+  EXPECT_EQ(a.anomalies, b.anomalies);
+  EXPECT_EQ(a.contained_errors, b.contained_errors);
+  EXPECT_EQ(a.injected_by_kind, b.injected_by_kind);
+  ASSERT_EQ(a.injection_log.size(), b.injection_log.size());
+  for (size_t i = 0; i < a.injection_log.size(); ++i) {
+    EXPECT_EQ(a.injection_log[i].kind, b.injection_log[i].kind) << "entry " << i;
+    EXPECT_EQ(a.injection_log[i].site, b.injection_log[i].site) << "entry " << i;
+  }
+}
+
+TEST(ChaosEpisode, MultiCellEpisodeHoldsInvariants) {
+  // Four cells on four worker threads against the shared RIC, one fault
+  // plan per cell: the full invariant suite (journal attribution, link
+  // conservation, PRB caps, cross-layer accounting) must hold per cell.
+  EpisodeOptions opts;
+  opts.seed = 9;
+  opts.cells = 4;
+  opts.virtual_time = true;
+  EpisodeReport r = run_episode(opts);
+  EXPECT_TRUE(r.passed) << summarize(r);
+  for (const auto& v : r.violations) ADD_FAILURE() << v;
+  EXPECT_GT(r.injections, 0u);
+  EXPECT_GT(r.anomalies, 0u);
+  EXPECT_EQ(r.slots % 4, 0u);  // every cell ran the same slot count
+
+  // And it replays bit-for-bit despite the worker threads.
+  EpisodeReport r2 = run_episode(opts);
+  EXPECT_EQ(r.injections, r2.injections);
+  EXPECT_EQ(r.anomalies, r2.anomalies);
+  EXPECT_EQ(r.injected_by_kind, r2.injected_by_kind);
+}
+
 // --- The campaign -----------------------------------------------------------
 
 TEST(ChaosCampaign, TwoHundredConsecutiveSeededEpisodesHoldAllInvariants) {

@@ -1,0 +1,285 @@
+// Tests for waran::rt — the virtual/steady clock, the cell executor, and
+// the multi-cell gNB deployment's determinism contract: under virtual time
+// the same config + seed must produce bit-identical metrics digests and
+// trace hashes whether the cells run inline on one thread or sharded across
+// worker threads, and across repeated threaded runs (the latter is also the
+// CI TSan workload for the runtime layer).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/anomaly.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "rt/clock.h"
+#include "rt/deployment.h"
+#include "rt/executor.h"
+#include "tests/wasm_test_util.h"
+
+namespace waran {
+namespace {
+
+using wasmtest::instantiate;
+using wasmtest::FuncType;
+using wasmtest::FunctionBuilder;
+using wasmtest::ModuleBuilder;
+using wasmtest::Op;
+using wasmtest::ValType;
+
+// ---------------------------------------------------------------------------
+// rt::Clock
+
+TEST(Clock, RealModeIsMonotonic) {
+  rt::Clock& clock = rt::Clock::global();
+  ASSERT_FALSE(clock.is_virtual());
+  const uint64_t a = clock.now_ns();
+  const uint64_t b = clock.now_ns();
+  EXPECT_LE(a, b);
+  EXPECT_LE(a, clock.real_ns());
+}
+
+TEST(Clock, VirtualModeOnlyMovesWhenAdvanced) {
+  rt::Clock& clock = rt::Clock::global();
+  rt::VirtualClockGuard guard(1000);
+  ASSERT_TRUE(clock.is_virtual());
+  EXPECT_EQ(clock.now_ns(), 1000u);
+  EXPECT_EQ(clock.now_ns(), 1000u);  // frozen until advanced
+  clock.advance_ns(500);
+  EXPECT_EQ(clock.now_ns(), 1500u);
+  EXPECT_EQ(rt::now_ns(), 1500u);  // the free-function shorthand agrees
+}
+
+TEST(Clock, RealNsKeepsTickingInVirtualMode) {
+  rt::VirtualClockGuard guard(0);
+  rt::Clock& clock = rt::Clock::global();
+  const uint64_t w0 = clock.real_ns();
+  // Burn a little real time without touching the virtual clock.
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_GT(clock.real_ns(), w0);
+  EXPECT_EQ(clock.now_ns(), 0u);
+}
+
+TEST(Clock, GuardRestoresRealModeAndSupportsNesting) {
+  rt::Clock& clock = rt::Clock::global();
+  ASSERT_FALSE(clock.is_virtual());
+  {
+    rt::VirtualClockGuard outer(100);
+    EXPECT_TRUE(clock.is_virtual());
+    {
+      // The inner guard re-bases the virtual origin but must NOT drop back
+      // to real mode on exit — the outer scope still owns virtual time.
+      rt::VirtualClockGuard inner(42);
+      EXPECT_TRUE(clock.is_virtual());
+      EXPECT_EQ(clock.now_ns(), 42u);
+    }
+    EXPECT_TRUE(clock.is_virtual());
+  }
+  EXPECT_FALSE(clock.is_virtual());
+}
+
+// ---------------------------------------------------------------------------
+// rt::CellExecutor
+
+TEST(CellExecutor, InlineModeRunsOnCallerThread) {
+  rt::CellExecutor exec("inline");
+  EXPECT_FALSE(exec.threaded());
+  const std::thread::id caller = std::this_thread::get_id();
+  std::thread::id ran_on;
+  exec.post([&] { ran_on = std::this_thread::get_id(); });
+  EXPECT_EQ(ran_on, caller);  // ran synchronously, before post returned
+  EXPECT_EQ(exec.tasks_run(), 1u);
+  exec.wait_idle();  // trivially satisfied, must not deadlock
+}
+
+TEST(CellExecutor, ThreadedModeRunsTasksInFifoOrderOffThread) {
+  rt::CellExecutor exec("worker");
+  exec.start();
+  EXPECT_TRUE(exec.threaded());
+
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<int> order;
+  std::thread::id ran_on;
+  for (int i = 0; i < 100; ++i) {
+    exec.post([&, i] {
+      order.push_back(i);
+      ran_on = std::this_thread::get_id();
+    });
+  }
+  exec.wait_idle();  // barrier: all 100 finished, writes visible here
+  ASSERT_EQ(order.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(order[i], i);
+  EXPECT_NE(ran_on, caller);
+  EXPECT_EQ(exec.tasks_run(), 100u);
+
+  exec.stop();
+  EXPECT_FALSE(exec.threaded());
+  // After stop() posts run inline again.
+  bool inline_ran = false;
+  exec.post([&] { inline_ran = true; });
+  EXPECT_TRUE(inline_ran);
+}
+
+TEST(CellExecutor, WaitIdleIsAHappensBeforeBarrier) {
+  rt::CellExecutor exec("barrier");
+  exec.start();
+  uint64_t counter = 0;  // plain (non-atomic): the barrier must order it
+  for (int step = 0; step < 50; ++step) {
+    exec.post([&] { ++counter; });
+    exec.wait_idle();
+    ASSERT_EQ(counter, static_cast<uint64_t>(step) + 1);
+  }
+  exec.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Virtual time vs the engine deadline
+
+TEST(VirtualTime, FrozenClockNeverFiresEngineDeadline) {
+  // A bounded busy loop that takes far longer than 1ns of real time. On the
+  // frozen virtual clock the deadline poll reads a constant `now`, so the
+  // call completes; wall_ns measures 0 because no virtual time elapsed.
+  ModuleBuilder mb;
+  FunctionBuilder& f = mb.add_func(FuncType{{}, {ValType::kI32}}, "spin");
+  uint32_t i = f.add_local(ValType::kI32);
+  f.block()
+      .loop()
+      .local_get(i)
+      .i32_const(200'000)
+      .op(Op::kI32GeS)
+      .br_if(1)
+      .local_get(i)
+      .i32_const(1)
+      .op(Op::kI32Add)
+      .local_set(i)
+      .br(0)
+      .end()
+      .end()
+      .local_get(i)
+      .end();
+  auto inst = instantiate(mb);
+  ASSERT_NE(inst, nullptr);
+
+  wasm::CallOptions opts;
+  opts.fuel = 0;  // unmetered: only the deadline could stop it
+  opts.deadline = std::chrono::nanoseconds(1);
+
+  {
+    rt::VirtualClockGuard guard(0);
+    wasm::CallStats stats;
+    auto r = inst->call("spin", {}, opts, &stats);
+    ASSERT_TRUE(r.ok()) << r.error().message;
+    EXPECT_EQ(stats.wall_ns, 0u);  // no virtual time passed during the call
+  }
+
+  // Same call on the real clock blows the 1ns budget at the first poll.
+  auto r = inst->call("spin", {}, opts, nullptr);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, Error::Code::kFuelExhausted) << r.error().message;
+}
+
+// ---------------------------------------------------------------------------
+// rt::GnbDeployment determinism
+
+// The deployment digests global singleton state (metrics registry, anomaly
+// journal), so comparable runs must each start from a clean sheet.
+void reset_global_obs() {
+  obs::MetricsRegistry::global().reset_values();
+  obs::AnomalyJournal::global().clear();
+  obs::set_current_slot(0);
+}
+
+struct RunResult {
+  std::string digest;
+  uint64_t trace_hash = 0;
+};
+
+RunResult run_deployment(uint32_t cells, bool threaded, uint32_t slots) {
+  reset_global_obs();
+  rt::DeploymentConfig cfg;
+  cfg.cells = cells;
+  cfg.seed = 7;
+  cfg.threaded = threaded;
+  cfg.virtual_time = true;
+  cfg.report_period_slots = 5;
+  cfg.trace_capacity = 256;
+  rt::GnbDeployment dep(cfg);
+  EXPECT_TRUE(dep.status().ok())
+      << (dep.status().ok() ? "" : dep.status().error().message);
+  if (!dep.status().ok()) return {};
+  auto st = dep.run_slots(slots);
+  EXPECT_TRUE(st.ok()) << (st.ok() ? "" : st.error().message);
+  EXPECT_EQ(dep.slots_run(), slots);
+  return {dep.digest(), dep.trace_hash()};
+}
+
+TEST(GnbDeployment, InlineAndThreadedRunsProduceIdenticalDigests) {
+  const RunResult inline_run = run_deployment(/*cells=*/2, /*threaded=*/false,
+                                              /*slots=*/20);
+  const RunResult threaded_run = run_deployment(/*cells=*/2, /*threaded=*/true,
+                                                /*slots=*/20);
+  ASSERT_FALSE(inline_run.digest.empty());
+  EXPECT_EQ(inline_run.digest, threaded_run.digest);
+  EXPECT_EQ(inline_run.trace_hash, threaded_run.trace_hash);
+  EXPECT_NE(inline_run.trace_hash, 0u);
+}
+
+TEST(GnbDeployment, RepeatedFourCellThreadedRunsAreBitIdentical) {
+  // Four cells on four worker threads, twice: the barrier-stepped virtual
+  // clock must make the runs indistinguishable. This is also the runtime
+  // layer's TSan workload in CI.
+  const RunResult a = run_deployment(/*cells=*/4, /*threaded=*/true,
+                                     /*slots=*/25);
+  const RunResult b = run_deployment(/*cells=*/4, /*threaded=*/true,
+                                     /*slots=*/25);
+  ASSERT_FALSE(a.digest.empty());
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.trace_hash, b.trace_hash);
+}
+
+TEST(GnbDeployment, PerCellTraceRingsAreDistinctAndPopulated) {
+  reset_global_obs();
+  rt::DeploymentConfig cfg;
+  cfg.cells = 3;
+  cfg.seed = 11;
+  cfg.threaded = true;
+  cfg.virtual_time = true;
+  cfg.trace_capacity = 128;
+  rt::GnbDeployment dep(cfg);
+  ASSERT_TRUE(dep.status().ok());
+  ASSERT_TRUE(dep.run_slots(10).ok());
+  for (uint32_t c = 0; c < 3; ++c) {
+    obs::TraceRing* ring = dep.trace_ring(c);
+    ASSERT_NE(ring, nullptr) << "cell " << c;
+    EXPECT_GT(ring->writes(), 0u) << "cell " << c;
+    for (uint32_t d = 0; d < c; ++d) {
+      EXPECT_NE(ring, dep.trace_ring(d));  // one ring per shard
+    }
+  }
+}
+
+TEST(GnbDeployment, UnsyncedModeRunsAllCells) {
+  reset_global_obs();
+  rt::DeploymentConfig cfg;
+  cfg.cells = 2;
+  cfg.seed = 3;
+  cfg.threaded = true;
+  cfg.virtual_time = true;
+  cfg.report_period_slots = 4;
+  rt::GnbDeployment dep(cfg);
+  ASSERT_TRUE(dep.status().ok());
+  ASSERT_TRUE(dep.run_slots_unsynced(12).ok());
+  EXPECT_EQ(dep.slots_run(), 12u);
+  const uint64_t slots =
+      static_cast<uint64_t>(obs::MetricsRegistry::global()
+                                .counter("waran_mac_slots_total", {})
+                                .value());
+  EXPECT_EQ(slots, 24u);  // 12 slots on each of 2 cells
+}
+
+}  // namespace
+}  // namespace waran

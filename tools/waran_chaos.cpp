@@ -10,6 +10,13 @@
 // the number of failing episodes (0 = all invariants held). This binary
 // installs the counting operator new, so the per-episode warm-path probe
 // measures real heap traffic.
+//
+//   waran_chaos --episodes 200 --virtual-time   # faster-than-real-time CI run
+//   waran_chaos --cells 4 --virtual-time        # threaded multi-cell episodes
+//
+// --virtual-time runs every episode on the rt::Clock virtual clock and
+// reports the wall-clock speedup (simulated seconds per real second).
+// --cells N > 1 runs each episode against a threaded N-cell deployment.
 #include <cinttypes>
 #include <cstdint>
 #include <cstdio>
@@ -18,6 +25,7 @@
 
 #include "chaos/harness.h"
 #include "common/log.h"
+#include "rt/clock.h"
 #include "tests/heap_probe_guard.h"
 
 namespace {
@@ -27,7 +35,8 @@ using namespace waran;
 void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--seed S] [--episodes N] [--rounds R]\n"
-               "          [--slots-per-round K] [--no-probe] [--verbose]\n"
+               "          [--slots-per-round K] [--cells C] [--virtual-time]\n"
+               "          [--no-probe] [--verbose]\n"
                "\n"
                "  --seed S             base seed (default 1); with\n"
                "                       --episodes 1 this replays one episode\n"
@@ -36,6 +45,10 @@ void usage(const char* argv0) {
                "                       otherwise)\n"
                "  --rounds R           E2 report rounds per episode\n"
                "  --slots-per-round K  MAC slots between indications\n"
+               "  --cells C            cells per gNB; C > 1 runs each episode\n"
+               "                       on a threaded multi-cell deployment\n"
+               "  --virtual-time       run on the rt virtual clock (no wall\n"
+               "                       pacing) and report the speedup\n"
                "  --no-probe           skip the zero-alloc warm-path probe\n"
                "  --verbose            print the injection log per episode\n",
                argv0);
@@ -77,6 +90,11 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--slots-per-round") == 0) {
       base.slots_per_round =
           static_cast<uint32_t>(std::strtoul(next("--slots-per-round"), nullptr, 0));
+    } else if (std::strcmp(argv[i], "--cells") == 0) {
+      base.cells = static_cast<uint32_t>(std::strtoul(next("--cells"), nullptr, 0));
+      if (base.cells == 0) base.cells = 1;
+    } else if (std::strcmp(argv[i], "--virtual-time") == 0) {
+      base.virtual_time = true;
     } else if (std::strcmp(argv[i], "--no-probe") == 0) {
       base.warm_path_probe = false;
     } else if (std::strcmp(argv[i], "--verbose") == 0 ||
@@ -99,13 +117,18 @@ int main(int argc, char** argv) {
   uint32_t failures = 0;
   uint64_t injections = 0;
   uint64_t anomalies = 0;
+  uint64_t total_slots = 0;
   uint64_t by_kind[chaos::kFaultKindCount] = {};
+  // real_ns() reads wall time regardless of clock mode, so the speedup
+  // report works while the episodes themselves run on virtual time.
+  const uint64_t wall_t0 = waran::rt::Clock::global().real_ns();
   for (uint32_t i = 0; i < episodes; ++i) {
     chaos::EpisodeOptions opts = base;
     opts.seed = seed + i;
     const chaos::EpisodeReport r = chaos::run_episode(opts);
     injections += r.injections;
     anomalies += r.anomalies;
+    total_slots += r.slots;
     for (size_t k = 0; k < chaos::kFaultKindCount; ++k) {
       by_kind[k] += r.injected_by_kind[k];
     }
@@ -120,11 +143,23 @@ int main(int argc, char** argv) {
     }
   }
 
+  const uint64_t wall_ns = waran::rt::Clock::global().real_ns() - wall_t0;
+
   std::printf("campaign: %u episode%s, seeds %" PRIu64 "..%" PRIu64 "\n",
               episodes, episodes == 1 ? "" : "s", seed, seed + episodes - 1);
   std::printf("  injections: %" PRIu64 "   anomalies: %" PRIu64
               "   failures: %u\n",
               injections, anomalies, failures);
+  if (base.virtual_time) {
+    // Episodes run at 1 simulated second per MAC slot (slot_us = 1'000'000).
+    // total_slots counts every cell's slots; elapsed simulated time is the
+    // per-cell slot count, since cells advance in lockstep.
+    const double simulated_s =
+        static_cast<double>(total_slots) / static_cast<double>(base.cells);
+    const double wall_s = static_cast<double>(wall_ns) / 1e9;
+    std::printf("  virtual time: %.0f simulated s in %.2f wall s (%.0fx speedup)\n",
+                simulated_s, wall_s, wall_s > 0 ? simulated_s / wall_s : 0.0);
+  }
   for (size_t k = 0; k < chaos::kFaultKindCount; ++k) {
     if (by_kind[k] == 0) continue;
     std::printf("  %-17s %" PRIu64 "\n",
