@@ -13,8 +13,10 @@
 
 #include "bench/bench_util.h"
 #include "common/tracked_alloc.h"
+#include "obs/fleet.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "rt/deployment.h"
 #include "tests/heap_probe_guard.h"
 #include "wasm/wasm.h"
 #include "wcc/compiler.h"
@@ -155,6 +157,55 @@ void BM_HistogramAdd(benchmark::State& state) {
   benchmark::DoNotOptimize(h.count());
 }
 
+void BM_FleetCollect(benchmark::State& state) {
+  // The fleet aggregation warm path: per-cell collection (what rides every
+  // E2 indication) plus the gNB/fleet rollup. The contract mirrors the span
+  // sites above — handles resolve at construction, so the warm path makes
+  // ZERO heap allocations; a regression aborts the bench.
+  rt::DeploymentConfig cfg;
+  cfg.cells = 2;
+  cfg.seed = 42;
+  cfg.threaded = false;  // inline: the bench thread owns every shard
+  cfg.virtual_time = true;
+  cfg.report_period_slots = 10;
+  rt::GnbDeployment dep(cfg);
+  if (!dep.status().ok()) {
+    state.SkipWithError(dep.status().error().message.c_str());
+    return;
+  }
+  if (!dep.run_slots(30).ok()) {
+    state.SkipWithError("deployment warm-up failed");
+    return;
+  }
+
+  obs::FleetAggregator& fleet = dep.fleet();
+  auto collect_all = [&fleet]() {
+    for (size_t i = 0; i < fleet.cells(); ++i) {
+      benchmark::DoNotOptimize(&fleet.collect_cell(i));
+    }
+    obs::CellTelemetry rollup = fleet.fleet_rollup();
+    benchmark::DoNotOptimize(&rollup);
+  };
+
+  for (int i = 0; i < 4; ++i) collect_all();
+  const uint64_t allocs_before = heap_probe::allocations();
+  for (int i = 0; i < 64; ++i) collect_all();
+  const uint64_t warm_allocs = heap_probe::allocations() - allocs_before;
+  if (warm_allocs != 0) {
+    std::fprintf(stderr,
+                 "fleet aggregation zero-alloc guarantee broken: %llu heap "
+                 "allocations across 64 warm collect+rollup passes\n",
+                 static_cast<unsigned long long>(warm_allocs));
+    std::abort();
+  }
+
+  for (auto _ : state) {
+    collect_all();
+  }
+  state.SetItemsProcessed(state.iterations() * 2);  // cells collected
+  state.counters["warm_heap_allocs"] = static_cast<double>(warm_allocs);
+}
+
 BENCHMARK(BM_TracedDispatch)
     ->Args({2000, 0})
     ->Args({2000, 1})
@@ -163,5 +214,6 @@ BENCHMARK(BM_SpanDisabled);
 BENCHMARK(BM_SpanEnabled);
 BENCHMARK(BM_CounterAdd);
 BENCHMARK(BM_HistogramAdd);
+BENCHMARK(BM_FleetCollect);
 
 }  // namespace

@@ -62,6 +62,58 @@ BENCHMARK(BM_MultiCellSlots)
     ->UseRealTime()
     ->MeasureProcessCPUTime();
 
+// UE-count stress sweep: how slot cost scales with per-slice UE population
+// and with slice count (each slice is one Wasm scheduler call per slot, so
+// slices/cell scales dispatch count while UEs/slice scales per-call work).
+// Keys land in BENCH_interp.json as abl_rt.BM_UeStress.* — reported for
+// trend tracking, not gated (absolute cost varies with CI hardware).
+void BM_UeStress(benchmark::State& state) {
+  const uint32_t ues_per_slice = static_cast<uint32_t>(state.range(0));
+  const uint32_t slices = static_cast<uint32_t>(state.range(1));
+  static const char* kPolicies[] = {"rr", "mt", "pf"};
+
+  rt::DeploymentConfig cfg;
+  cfg.cells = 1;
+  cfg.seed = 42;
+  cfg.threaded = false;  // single cell: measure the slot path, not the pool
+  cfg.virtual_time = true;
+  cfg.report_period_slots = 10;
+  cfg.slices.clear();
+  for (uint32_t s = 0; s < slices; ++s) {
+    rt::SliceSpec spec;
+    spec.slice_id = s + 1;
+    spec.name = "mvno" + std::to_string(s + 1);
+    spec.policy = kPolicies[s % 3];
+    spec.target_rate_bps = 8e6;
+    spec.quota_prbs = 8;
+    spec.ues = ues_per_slice;
+    cfg.slices.push_back(spec);
+  }
+  rt::GnbDeployment dep(cfg);
+  if (!dep.status().ok()) {
+    state.SkipWithError(dep.status().error().message.c_str());
+    return;
+  }
+  for (auto _ : state) {
+    auto st = dep.run_slots_unsynced(kSlotsPerIter);
+    if (!st.ok()) {
+      state.SkipWithError(st.error().message.c_str());
+      return;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(kSlotsPerIter));
+  state.counters["ues"] = static_cast<double>(ues_per_slice * slices);
+  state.counters["slices"] = static_cast<double>(slices);
+}
+
+BENCHMARK(BM_UeStress)
+    ->Args({2, 3})
+    ->Args({8, 3})
+    ->Args({32, 3})
+    ->Args({8, 6})
+    ->ArgNames({"ues_per_slice", "slices"});
+
 /// Same console + JSON capture shape as the other ablations (see
 /// abl_engine.cpp): every run lands in BENCH_interp.json as
 /// `abl_rt.<name>.<counter>`.

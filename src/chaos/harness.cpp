@@ -435,6 +435,8 @@ EpisodeReport run_episode(const EpisodeOptions& options) {
      "kSlotOverrun anomalies vs injected overruns");
   eq(by_kind[obs::AnomalyKind::kDecline], 0, "unexpected kDecline anomalies");
   eq(by_kind[obs::AnomalyKind::kOther], 0, "unexpected kOther anomalies");
+  // The single-cell harness runs no SLO engine; any breach entry is a bug.
+  eq(by_kind[obs::AnomalyKind::kSloBreach], 0, "unexpected kSloBreach anomalies");
 
   // Spec-conformant growth denial: denied exactly as scheduled, no anomaly.
   {
@@ -550,6 +552,10 @@ EpisodeReport run_multicell_episode(const EpisodeOptions& options) {
   // Slot budget of one full second (the single-cell harness convention):
   // every kSlotOverrun anomaly in the episode is an injected one.
   dc.mac.slot_us = 1'000'000;
+  // Fleet telemetry plane under fire: per-cell trace rings feed the flight
+  // recorder, and the SLO engine evaluates one window per report round.
+  dc.trace_capacity = 1024;
+  dc.slo_window_slots = options.slots_per_round;
   dc.decorate_scheduler = [&plans](std::unique_ptr<ran::IntraSliceScheduler> inner,
                                    uint32_t cell, uint32_t slice_id) {
     return std::make_unique<ChaosIntraScheduler>(std::move(inner), *plans[cell],
@@ -561,6 +567,20 @@ EpisodeReport run_multicell_episode(const EpisodeOptions& options) {
     expect(false, "deployment construction failed: " + dep.status().error().message);
     return rep;
   }
+
+  // Flight recorder: the bundle's replay command must reproduce this exact
+  // episode, so the context carries the episode shape, not just the seed.
+  obs::FlightContext fctx = dep.flight_context();
+  fctx.rounds = options.rounds;
+  fctx.slots_per_round = options.slots_per_round;
+  fctx.scenario = "chaos_episode";
+  dep.set_flight_context(fctx);
+  dep.set_breach_hook([&rep, &dep](const obs::HealthReport& health) {
+    rep.slo_breaches += health.breaches;
+    if (rep.flight_bundle.empty()) {
+      rep.flight_bundle = dep.capture_flight_bundle("slo_breach");
+    }
+  });
 
   // --- Chaos hooks, one set per cell --------------------------------------
   // Each hook draws from its own cell's plan only; the barrier-stepped
@@ -599,6 +619,7 @@ EpisodeReport run_multicell_episode(const EpisodeOptions& options) {
   }
   const uint64_t per_cell_slots = dep.slots_run();
   rep.slots = per_cell_slots * options.cells;
+  rep.slo_breach_windows = dep.slo_breach_windows();
 
   // --- Drain: stop injecting, land everything in flight -------------------
   for (auto& p : plans) p->set_active(false);
@@ -661,6 +682,12 @@ EpisodeReport run_multicell_episode(const EpisodeOptions& options) {
   eq(by_kind[obs::AnomalyKind::kLoadFailed], 0, "unexpected kLoadFailed anomalies");
   eq(by_kind[obs::AnomalyKind::kDecline], 0, "unexpected kDecline anomalies");
   eq(by_kind[obs::AnomalyKind::kOther], 0, "unexpected kOther anomalies");
+  // SLO breach accounting is exact: every breached verdict the engine
+  // produced landed as one kSloBreach journal entry, and vice versa.
+  eq(by_kind[obs::AnomalyKind::kSloBreach], rep.slo_breaches,
+     "kSloBreach anomalies vs breached SLO verdicts");
+  expect(rep.slo_breaches == 0 || !rep.flight_bundle.empty(),
+         "SLO breach occurred but no flight bundle was captured");
 
   // Per-cell attribution: each cell's sanitizations land in its own MAC
   // domain, so cross-thread accounting never smears between shards.

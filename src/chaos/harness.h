@@ -58,6 +58,16 @@ struct EpisodeReport {
   uint64_t anomalies = 0;
   uint64_t contained_errors = 0;  ///< non-fatal Status errors the loop absorbed
   uint64_t warm_heap_allocs = 0;  ///< heap allocations during the warm probe
+  /// Multicell episodes run the obs SLO engine with one window per round;
+  /// chaos faults are expected to breach objectives, and the audit checks
+  /// the breach accounting is exact (journal entries == breached verdicts).
+  uint64_t slo_breach_windows = 0;  ///< evaluation windows flagged unhealthy
+  uint64_t slo_breaches = 0;        ///< breached SLO verdicts across windows
+  /// Flight-recorder bundle captured at the first unhealthy window (empty
+  /// when the episode never breached). `waran_chaos --flight-dir` persists
+  /// these; the bundle's embedded replay command reproduces it bit-for-bit
+  /// under virtual time.
+  std::string flight_bundle;
   std::array<uint64_t, kFaultKindCount> injected_by_kind{};
   std::vector<FaultPlan::Injection> injection_log;
 };

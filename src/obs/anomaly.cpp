@@ -15,6 +15,7 @@ const char* to_string(AnomalyKind kind) {
     case AnomalyKind::kFrameRejected: return "frame_rejected";
     case AnomalyKind::kSlotOverrun: return "slot_overrun";
     case AnomalyKind::kLoadFailed: return "load_failed";
+    case AnomalyKind::kSloBreach: return "slo_breach";
     case AnomalyKind::kOther: return "other";
   }
   return "other";

@@ -32,6 +32,7 @@ enum class AnomalyKind : uint8_t {
   kFrameRejected,   ///< comm-plugin sanitization rejected a wire frame
   kSlotOverrun,     ///< MAC slot processing exceeded the slot duration
   kLoadFailed,      ///< plugin install/swap refused (broken or injected)
+  kSloBreach,       ///< declarative service-level objective violated (slo.h)
   kOther,
 };
 

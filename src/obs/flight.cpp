@@ -1,0 +1,140 @@
+#include "obs/flight.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "obs/anomaly.h"
+#include "obs/trace.h"
+
+namespace waran::obs {
+
+namespace {
+
+void append_json_escaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+constexpr size_t kAnomalyTail = 32;  ///< journal records kept in the bundle
+
+}  // namespace
+
+std::string FlightRecorder::replay_command() const {
+  char buf[192];
+  if (ctx_.rounds > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "waran_chaos --seed %" PRIu64
+                  " --episodes 1 --rounds %u --slots-per-round %u --cells %u%s",
+                  ctx_.seed, ctx_.rounds, ctx_.slots_per_round, ctx_.cells,
+                  ctx_.virtual_time ? " --virtual-time" : "");
+    return buf;
+  }
+  std::snprintf(buf, sizeof(buf), "waran_obs --cells %u --seed %" PRIu64, ctx_.cells,
+                ctx_.seed);
+  return buf;
+}
+
+std::string FlightRecorder::capture(std::string_view reason,
+                                    const HealthReport& health,
+                                    const FleetAggregator& agg,
+                                    const std::vector<MergedTrack>& tracks,
+                                    uint64_t end_slot) const {
+  std::string out;
+  out.reserve(4096);
+  char buf[256];
+
+  out += "{\"waran_flight_bundle\":1,\"reason\":\"";
+  append_json_escaped(out, reason);
+  out += "\",\"context\":{";
+  std::snprintf(buf, sizeof(buf),
+                "\"seed\":%" PRIu64
+                ",\"cells\":%u,\"virtual_time\":%s,\"rounds\":%u,"
+                "\"slots_per_round\":%u,\"scenario\":\"",
+                ctx_.seed, ctx_.cells, ctx_.virtual_time ? "true" : "false",
+                ctx_.rounds, ctx_.slots_per_round);
+  out += buf;
+  append_json_escaped(out, ctx_.scenario);
+  out += "\"},\"replay\":\"";
+  append_json_escaped(out, replay_command());
+  out += "\",\"health\":";
+  out += health.to_json();
+
+  out += ",\"cells\":[";
+  for (size_t i = 0; i < agg.cells(); ++i) {
+    if (i > 0) out += ',';
+    out += "{\"window\":";
+    out += agg.cell_window(i).to_json();
+    out += ",\"total\":";
+    out += agg.cell_total(i).to_json();
+    out += '}';
+  }
+  out += ']';
+
+  // Journal tail, newest last.
+  const std::vector<AnomalyRecord> journal = AnomalyJournal::global().snapshot();
+  const size_t start = journal.size() > kAnomalyTail ? journal.size() - kAnomalyTail : 0;
+  out += ",\"anomalies\":[";
+  for (size_t i = start; i < journal.size(); ++i) {
+    const AnomalyRecord& r = journal[i];
+    if (i > start) out += ',';
+    std::snprintf(buf, sizeof(buf),
+                  "{\"seq\":%" PRIu64 ",\"slot\":%" PRIu64 ",\"t_ns\":%" PRIu64
+                  ",\"kind\":\"%s\",\"domain\":\"",
+                  r.seq, r.slot, r.t_ns, to_string(r.kind));
+    out += buf;
+    append_json_escaped(out, r.domain);
+    out += "\",\"source\":\"";
+    append_json_escaped(out, r.source);
+    out += "\",\"detail\":\"";
+    append_json_escaped(out, r.detail);
+    out += "\"}";
+  }
+  out += ']';
+
+  // Last-N-slot trace window across every track, in ring order per track
+  // (the merged exporter owns global ordering; the bundle keeps provenance).
+  const uint64_t cutoff =
+      end_slot > trace_window_slots_ ? end_slot - trace_window_slots_ : 0;
+  std::snprintf(buf, sizeof(buf),
+                ",\"trace_window\":{\"window_slots\":%u,\"from_slot\":%" PRIu64
+                ",\"to_slot\":%" PRIu64 ",\"events\":[",
+                trace_window_slots_, cutoff, end_slot);
+  out += buf;
+  bool first = true;
+  for (const MergedTrack& tr : tracks) {
+    if (tr.ring == nullptr) continue;
+    for (const TraceEvent& ev : tr.ring->snapshot()) {
+      if (ev.slot < cutoff) continue;
+      if (!first) out += ',';
+      first = false;
+      std::snprintf(buf, sizeof(buf),
+                    "{\"pid\":%u,\"t_ns\":%" PRIu64 ",\"dur_ns\":%" PRIu64
+                    ",\"slot\":%" PRIu64 ",\"cat\":\"%s\",\"ph\":\"%c\",\"arg\":%u,"
+                    "\"name\":\"",
+                    tr.pid, ev.t_ns, ev.dur_ns, ev.slot,
+                    to_string(static_cast<TraceCat>(ev.cat)), ev.phase, ev.arg);
+      out += buf;
+      append_json_escaped(out, ev.name);
+      out += "\"}";
+    }
+  }
+  out += "]}}";
+  return out;
+}
+
+}  // namespace waran::obs

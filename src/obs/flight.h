@@ -1,0 +1,71 @@
+// waran::obs flight recorder — a self-contained post-mortem bundle for SLO
+// breaches and anomalies.
+//
+// When the SloEngine declares a breach (or a chaos invariant fails), the
+// operator question is "what was the system doing, and how do I see it
+// again". The FlightRecorder answers both in one JSON document:
+//
+//   context       the deterministic run coordinates: master seed, cell
+//                 count, virtual-time flag, episode shape — plus a ready
+//                 `replay` command line (waran_chaos --seed ...) that
+//                 reproduces the run bit for bit on the virtual clock.
+//   health        the breaching HealthReport, verdict by verdict.
+//   cells         every cell's window delta and running totals (exact
+//                 histogram state included via the telemetry JSON).
+//   anomalies     the journal tail (newest last) around the breach.
+//   trace_window  the last N slots of every cell's trace ring, tagged with
+//                 the cell's merged-trace pid.
+//
+// The bundle is a pure function of deployment state that is itself
+// deterministic under virtual time, so capturing the same breach twice
+// yields byte-identical bundles — asserted by tests/obs_fleet_test.cpp and
+// relied on by the chaos harness's replay contract.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/fleet.h"
+#include "obs/slo.h"
+
+namespace waran::obs {
+
+/// Where the telemetry came from — enough to regenerate the run.
+struct FlightContext {
+  uint64_t seed = 0;
+  uint32_t cells = 1;
+  bool virtual_time = true;
+  /// Chaos episode shape; rounds == 0 means "not a chaos episode" and the
+  /// replay line falls back to the scenario command.
+  uint32_t rounds = 0;
+  uint32_t slots_per_round = 0;
+  /// Free-form provenance ("waran_obs --cells 4", "chaos_episode", ...).
+  std::string scenario;
+};
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(FlightContext ctx, uint32_t trace_window_slots = 8)
+      : ctx_(std::move(ctx)), trace_window_slots_(trace_window_slots) {}
+
+  const FlightContext& context() const { return ctx_; }
+
+  /// The replay command line embedded in every bundle.
+  std::string replay_command() const;
+
+  /// Builds the bundle. `end_slot` anchors the trace window (events with
+  /// slot >= end_slot - trace_window_slots are kept); `tracks` may be empty
+  /// when tracing is off.
+  std::string capture(std::string_view reason, const HealthReport& health,
+                      const FleetAggregator& agg,
+                      const std::vector<MergedTrack>& tracks,
+                      uint64_t end_slot) const;
+
+ private:
+  FlightContext ctx_;
+  uint32_t trace_window_slots_;
+};
+
+}  // namespace waran::obs

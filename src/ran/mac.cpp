@@ -15,6 +15,11 @@ GnbMac::GnbMac(MacConfig config) : config_(config), error_rng_(config.error_seed
   m_slots_ = &reg.counter("waran_mac_slots_total");
   m_slot_overruns_ = &reg.counter("waran_mac_slot_overrun_total");
   m_slot_wall_ns_ = &reg.histogram("waran_mac_slot_wall_ns");
+  const std::string cell = std::to_string(config_.cell);
+  m_cell_slots_ = &reg.counter("waran_cell_slots_total", {{"cell", cell}});
+  m_cell_slot_overruns_ =
+      &reg.counter("waran_cell_slot_overrun_total", {{"cell", cell}});
+  m_cell_slot_wall_ns_ = &reg.histogram("waran_cell_slot_wall_ns", {{"cell", cell}});
 }
 
 void GnbMac::add_slice(const SliceConfig& config,
@@ -270,8 +275,11 @@ Status GnbMac::run_slot() {
   if (slot_padding_) slot_wall_ns += slot_padding_();
   m_slots_->add();
   m_slot_wall_ns_->add(slot_wall_ns);
+  m_cell_slots_->add();
+  m_cell_slot_wall_ns_->add(slot_wall_ns);
   if (slot_wall_ns > static_cast<uint64_t>(config_.slot_us) * 1000) {
     m_slot_overruns_->add();
+    m_cell_slot_overruns_->add();
     obs::AnomalyJournal::global().record(
         obs::AnomalyKind::kSlotOverrun, config_.domain, "slot",
         "slot processing took " + std::to_string(slot_wall_ns) + " ns (budget " +

@@ -155,10 +155,15 @@ class GnbMac {
   MacConfig config_;
   uint64_t slot_ = 0;
   // Registry handles for slot-level accounting (bound in the constructor;
-  // cells share the unlabeled aggregates).
+  // cells share the unlabeled aggregates and additionally feed per-cell
+  // `waran_cell_*{cell=}` families, which the fleet telemetry plane
+  // (obs/fleet.h) reads for its cell -> gNB -> deployment rollup).
   obs::Counter* m_slots_ = nullptr;
   obs::Counter* m_slot_overruns_ = nullptr;
   obs::Histogram* m_slot_wall_ns_ = nullptr;
+  obs::Counter* m_cell_slots_ = nullptr;
+  obs::Counter* m_cell_slot_overruns_ = nullptr;
+  obs::Histogram* m_cell_slot_wall_ns_ = nullptr;
   uint32_t next_rnti_ = 0x4601;  // srsRAN's first C-RNTI
   std::map<uint32_t, SliceState> slices_;
   std::map<uint32_t, std::unique_ptr<UeContext>> ues_;

@@ -27,6 +27,87 @@ struct E2Metrics {
   }
 };
 
+// Telemetry block body: 3 u32 ids + 17 u64 counters + 2 histogram states
+// of (65 buckets + sum + count) u64s each. Field order matches the
+// CellTelemetry declaration; both sides are fixed-width little endian so
+// the summary round-trips exactly (histogram buckets included).
+constexpr uint32_t kTelemetryLen =
+    12 + 17 * 8 + 2 * (obs::Histogram::kBuckets + 2) * 8;
+
+void write_hist(ByteWriter& w, const obs::HistState& h) {
+  for (uint64_t b : h.buckets) w.u64le(b);
+  w.u64le(h.sum);
+  w.u64le(h.count);
+}
+
+Status read_hist(ByteReader& r, obs::HistState& h) {
+  for (uint64_t& b : h.buckets) {
+    WARAN_TRY(v, r.u64le());
+    b = v;
+  }
+  WARAN_TRY(sum, r.u64le());
+  WARAN_TRY(count, r.u64le());
+  h.sum = sum;
+  h.count = count;
+  return {};
+}
+
+void write_telemetry(ByteWriter& w, const obs::CellTelemetry& t) {
+  w.u32le(kTelemetryTag);
+  w.u32le(kTelemetryLen);
+  w.u32le(t.gnb);
+  w.u32le(t.cell);
+  w.u32le(t.cells_merged);
+  w.u64le(t.slots);
+  w.u64le(t.slot_overruns);
+  w.u64le(t.prb_granted);
+  w.u64le(t.prb_capacity);
+  w.u64le(t.slots_scheduled);
+  w.u64le(t.sched_faults);
+  w.u64le(t.sanitized_allocs);
+  w.u64le(t.plugin_calls);
+  w.u64le(t.plugin_traps);
+  w.u64le(t.plugin_fuel_exhausted);
+  w.u64le(t.plugin_declines);
+  w.u64le(t.plugin_fuel_used);
+  w.u64le(t.quarantines);
+  w.u64le(t.frames_rejected);
+  w.u64le(t.anomalies);
+  w.u64le(t.trace_writes);
+  w.u64le(t.trace_dropped);
+  write_hist(w, t.slot_wall_ns);
+  write_hist(w, t.sched_wall_ns);
+}
+
+Result<obs::CellTelemetry> read_telemetry(ByteReader& r) {
+  WARAN_TRY(len, r.u32le());
+  if (len != kTelemetryLen || r.remaining() < len) {
+    return Error::decode("indication: bad telemetry block length");
+  }
+  obs::CellTelemetry t;
+  WARAN_TRY(gnb, r.u32le());
+  WARAN_TRY(cell, r.u32le());
+  WARAN_TRY(merged, r.u32le());
+  t.gnb = gnb;
+  t.cell = cell;
+  t.cells_merged = merged;
+  uint64_t* const counters[] = {
+      &t.slots,          &t.slot_overruns,        &t.prb_granted,
+      &t.prb_capacity,   &t.slots_scheduled,      &t.sched_faults,
+      &t.sanitized_allocs, &t.plugin_calls,       &t.plugin_traps,
+      &t.plugin_fuel_exhausted, &t.plugin_declines, &t.plugin_fuel_used,
+      &t.quarantines,    &t.frames_rejected,      &t.anomalies,
+      &t.trace_writes,   &t.trace_dropped,
+  };
+  for (uint64_t* c : counters) {
+    WARAN_TRY(v, r.u64le());
+    *c = v;
+  }
+  WARAN_CHECK_OK(read_hist(r, t.slot_wall_ns));
+  WARAN_CHECK_OK(read_hist(r, t.sched_wall_ns));
+  return t;
+}
+
 }  // namespace
 
 std::vector<uint8_t> encode_indication(const IndicationReport& report) {
@@ -51,6 +132,7 @@ std::vector<uint8_t> encode_indication(const IndicationReport& report) {
     w.u32le(u.cqi);
     w.u32le(u.neighbor_cell);
   }
+  if (report.telemetry.has_value()) write_telemetry(w, *report.telemetry);
   std::vector<uint8_t> out = w.take();
   E2Metrics::get().enc_bytes.add(out.size());
   return out;
@@ -106,7 +188,25 @@ Result<IndicationReport> decode_indication(std::span<const uint8_t> bytes) {
     u.neighbor_cell = ncell;
     report.ues.push_back(u);
   }
-  if (!r.at_end()) return Error::decode("indication: trailing bytes");
+  if (!r.at_end()) {
+    // Only the tagged telemetry block may follow the UE records; anything
+    // else keeps the strict trailing-bytes rejection.
+    WARAN_TRY(tag, r.u32le());
+    if (tag != kTelemetryTag) {
+      E2Metrics::get().dec_errors.add();
+      return Error::decode("indication: trailing bytes");
+    }
+    auto telemetry = read_telemetry(r);
+    if (!telemetry.ok()) {
+      E2Metrics::get().dec_errors.add();
+      return telemetry.error();
+    }
+    report.telemetry = *telemetry;
+    if (!r.at_end()) {
+      E2Metrics::get().dec_errors.add();
+      return Error::decode("indication: trailing bytes");
+    }
+  }
   return report;
 }
 

@@ -15,6 +15,14 @@
 //   .. u32 n_ues
 //   .. UE records, 24 B: { u32 rnti, u32 serving_cell, i32 rsrp_serving_dbm,
 //                          i32 rsrp_neighbor_dbm, u32 cqi, u32 neighbor_cell }
+//   .. optional telemetry block (v3 extension; the fleet plane's per-cell
+//      summary riding in-band — see obs/fleet.h):
+//        u32 tag 'TEL1' (0x314c4554), u32 len,
+//        { u32 gnb, u32 cell, u32 cells_merged, 17 x u64 counters,
+//          2 x histogram state (65 x u64 buckets, u64 sum, u64 count) }
+//      The W xApps bound their reads by n_slices/n_ues and skip the tail
+//      untouched; the host decoder round-trips it exactly. Absent tag =
+//      older sender; any other trailing bytes stay a decode error.
 //
 // Control (msg_type 2):
 //   0  u32 msg_type
@@ -28,10 +36,12 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <vector>
 
 #include "common/result.h"
+#include "obs/fleet.h"
 
 namespace waran::ric {
 
@@ -61,9 +71,14 @@ struct UeReport {
 struct IndicationReport {
   std::vector<SliceReport> slices;
   std::vector<UeReport> ues;
+  /// Per-cell fleet telemetry summary (optional tagged tail on the wire).
+  std::optional<obs::CellTelemetry> telemetry;
 
   bool operator==(const IndicationReport&) const = default;
 };
+
+/// Telemetry-block tag ("TEL1" little endian) and fixed payload size.
+inline constexpr uint32_t kTelemetryTag = 0x314c4554;
 
 enum class ActionType : uint32_t {
   kSetSliceQuota = 1,

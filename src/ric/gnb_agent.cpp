@@ -115,6 +115,11 @@ Status GnbAgent::send_indication() {
     }
     report.ues.push_back(u);
   }
+  if (telemetry_provider_) {
+    // Collected here, on the agent's own thread, so the per-cell summary is
+    // coherent with the slots this cell has actually finished.
+    if (const obs::CellTelemetry* t = telemetry_provider_()) report.telemetry = *t;
+  }
 
   std::vector<uint8_t> payload = encode_indication(report);
   auto frame = plugins_.call("comm", "frame", payload);

@@ -65,6 +65,14 @@ class GnbAgent {
     on_handover_ = std::move(fn);
   }
 
+  /// Installs a fleet-telemetry provider: called on every send_indication
+  /// (on the agent's own thread, so per-cell collection is race-free) and
+  /// the returned summary ships as the indication's tagged telemetry block.
+  /// Null return or no provider = no block (wire-compatible with v2).
+  void set_telemetry_provider(std::function<const obs::CellTelemetry*()> fn) {
+    telemetry_provider_ = std::move(fn);
+  }
+
   /// Builds and sends one indication from current MAC state.
   Status send_indication();
 
@@ -109,6 +117,7 @@ class GnbAgent {
   plugin::PluginManager plugins_;
   std::map<uint32_t, UeRadio> radio_;
   std::function<void(uint32_t, uint32_t)> on_handover_;
+  std::function<const obs::CellTelemetry*()> telemetry_provider_;
   AgentStats stats_;
   uint32_t cqi_table_index_ = 0;
   uint32_t report_period_slots_ = 100;

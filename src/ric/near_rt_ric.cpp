@@ -81,6 +81,14 @@ Status NearRtRic::dispatch_indication(std::span<const uint8_t> payload, LinkRef&
                     static_cast<uint32_t>(payload.size()));
   ++stats_.indications_processed;
   RicMetrics::get().indications.add();
+  // Host-side decode feeds the fleet reconstruction; the xApps still get
+  // the raw payload (they own their own parsing). A payload that fails the
+  // host decode just carries no telemetry — dispatch continues.
+  if (auto decoded = decode_indication(payload);
+      decoded.ok() && decoded->telemetry.has_value()) {
+    fleet_view_.update(*decoded->telemetry);
+    ++stats_.telemetry_updates;
+  }
   std::vector<ControlAction> aggregated;
   for (const std::string& slot : xapps_) {
     auto out = plugins_.call(slot, "on_indication", payload);

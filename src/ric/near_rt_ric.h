@@ -25,6 +25,7 @@ namespace waran::ric {
 
 struct RicStats {
   uint64_t indications_processed = 0;
+  uint64_t telemetry_updates = 0;  // indications carrying a telemetry block
   uint64_t frames_rejected = 0;   // comm-plugin sanitization drops
   uint64_t control_frames_sent = 0;
   uint64_t actions_sent = 0;
@@ -72,6 +73,12 @@ class NearRtRic {
   /// Last batch of actions shipped (for tests/benches).
   const std::vector<ControlAction>& last_actions() const { return last_actions_; }
 
+  /// The RIC's reconstructed fleet view, rebuilt purely from the telemetry
+  /// blocks that survived the wire (frame -> unframe -> decode). After a
+  /// report boundary this must equal the deployment's ground-truth
+  /// aggregation exactly — the fleet plane's end-to-end invariant.
+  const obs::FleetView& fleet_view() const { return fleet_view_; }
+
   /// Trap/anomaly journal entries recorded under this RIC's observability
   /// domain: every xApp trap, fuel/deadline exhaustion and quarantine, with
   /// the xApp slot name and the MAC slot that was executing.
@@ -95,6 +102,7 @@ class NearRtRic {
   std::vector<std::deque<std::vector<uint8_t>>> inboxes_;
   RicStats stats_;
   std::vector<ControlAction> last_actions_;
+  obs::FleetView fleet_view_;
 };
 
 }  // namespace waran::ric

@@ -32,6 +32,12 @@ struct GnbDeployment::Cell {
   std::unique_ptr<ric::Duplex> link;
   std::unique_ptr<ric::GnbAgent> agent;
   std::unique_ptr<obs::TraceRing> ring;  // null when per-cell tracing is off
+  /// Exact copy of the telemetry summary this cell last shipped in an
+  /// indication (written by the cell's own worker inside send_indication;
+  /// read by the coordinator between barriers). Ground truth for the
+  /// RIC-reconstruction invariant.
+  obs::CellTelemetry last_shipped;
+  bool shipped = false;
   /// First contained run_slot failure on this shard; written only by the
   /// cell's worker (or the coordinator between barriers).
   Status status;
@@ -111,6 +117,59 @@ GnbDeployment::GnbDeployment(DeploymentConfig config) : config_(std::move(config
     cells_.push_back(std::move(cell));
   }
 
+  if (config_.trace_capacity > 0) {
+    // Coordinator-side ring: RIC dispatch and SLO evaluation spans, merged
+    // into the cross-cell trace as their own process track.
+    ric_ring_ = std::make_unique<obs::TraceRing>();
+    ric_ring_->enable(config_.trace_capacity);
+  }
+
+  // Fleet telemetry plane: one spec per cell, handles resolved here so the
+  // per-indication collection path never allocates.
+  {
+    std::vector<obs::FleetCellSpec> specs;
+    specs.reserve(cells_.size());
+    for (const auto& cp : cells_) {
+      obs::FleetCellSpec spec;
+      spec.gnb = config_.gnb_id;
+      spec.cell = cp->id;
+      spec.mac_domain = "mac" + std::to_string(cp->id);
+      spec.agent_domain = "gnb" + std::to_string(cp->id);
+      for (const SliceSpec& s : config_.slices) {
+        spec.sched_slots.push_back(s.name);
+        spec.slice_ids.push_back(std::to_string(s.slice_id));
+      }
+      spec.n_prbs = config_.mac.n_prbs;
+      spec.ring = cp->ring.get();
+      specs.push_back(std::move(spec));
+    }
+    fleet_ = std::make_unique<obs::FleetAggregator>(std::move(specs));
+  }
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    Cell* c = cells_[i].get();
+    c->agent->set_telemetry_provider([this, c, i]() -> const obs::CellTelemetry* {
+      // Runs on the cell's own worker: reads only cell-i-labeled
+      // instruments, writes only this cell's aggregator slot.
+      const obs::CellTelemetry& t = fleet_->collect_cell(i);
+      c->last_shipped = t;
+      c->shipped = true;
+      return &t;
+    });
+  }
+
+  if (config_.slo_window_slots > 0) {
+    std::vector<obs::SloSpec> slos =
+        config_.slos.empty()
+            ? obs::default_slos(static_cast<uint64_t>(config_.mac.slot_us) * 1000)
+            : config_.slos;
+    slo_ = std::make_unique<obs::SloEngine>(std::move(slos));
+  }
+
+  flight_ctx_.seed = config_.seed;
+  flight_ctx_.cells = config_.cells;
+  flight_ctx_.virtual_time = config_.virtual_time;
+  flight_ctx_.scenario = "gnb_deployment";
+
   if (config_.report_period_slots > 0) {
     status_ = wire_e2_loop();
     if (!status_.ok()) return;
@@ -172,10 +231,12 @@ Status GnbDeployment::run_slots(uint32_t n) {
     if (report) {
       // Coordinator-only RIC turn: drain indications from every cell's
       // link, dispatch xApps, ship control. Then each cell applies its
-      // control on its own worker.
+      // control on its own worker. RIC spans land in the coordinator ring.
+      obs::TraceRing::bind_current(ric_ring_.get());
       obs::set_current_slot(slots_run_ + 1);
       Status rs = ric_->poll();
       (void)rs;
+      obs::TraceRing::bind_current(nullptr);
       for (auto& cp : cells_) {
         Cell* c = cp.get();
         c->executor->post([c] {
@@ -190,6 +251,27 @@ Status GnbDeployment::run_slots(uint32_t n) {
         });
       }
       for (auto& cp : cells_) cp->executor->wait_idle();  // barrier
+    }
+
+    if (slo_ != nullptr && (slots_run_ + 1) % config_.slo_window_slots == 0) {
+      // SLO window edge: workers are parked, so the coordinator re-collects
+      // every cell coherently, judges the window deltas, and opens the next
+      // window. Breach journaling/tracing lands in the coordinator ring.
+      obs::TraceRing::bind_current(ric_ring_.get());
+      obs::set_current_slot(slots_run_ + 1);
+      {
+        obs::ObsSpan span(obs::TraceCat::kRic, "slo_evaluate",
+                          static_cast<uint32_t>(slots_run_ + 1));
+        for (size_t i = 0; i < cells_.size(); ++i) fleet_->collect_cell(i);
+        last_health_ = slo_->evaluate(*fleet_, window_start_slot_, slots_run_ + 1);
+      }
+      window_start_slot_ = slots_run_ + 1;
+      fleet_->begin_window();
+      if (!last_health_.healthy) {
+        ++slo_breach_windows_;
+        if (breach_hook_) breach_hook_(last_health_);
+      }
+      obs::TraceRing::bind_current(nullptr);
     }
 
     // All workers are parked: advancing the clock here is ordered before
@@ -228,8 +310,10 @@ Status GnbDeployment::run_slots_unsynced(uint32_t n) {
 
   // Settle the E2 loop once: RIC turn, then control application per cell.
   if (period > 0) {
+    obs::TraceRing::bind_current(ric_ring_.get());
     Status rs = ric_->poll();
     (void)rs;
+    obs::TraceRing::bind_current(nullptr);
     for (auto& cp : cells_) {
       Cell* c = cp.get();
       c->executor->post([c] {
@@ -263,16 +347,50 @@ obs::TraceRing* GnbDeployment::trace_ring(uint32_t cell) {
   return cells_.at(cell)->ring.get();
 }
 
+obs::FleetView GnbDeployment::shipped_view() const {
+  obs::FleetView view;
+  for (const auto& cp : cells_) {
+    if (cp->shipped) view.update(cp->last_shipped);
+  }
+  return view;
+}
+
+std::vector<obs::MergedTrack> GnbDeployment::trace_tracks() const {
+  std::vector<obs::MergedTrack> tracks;
+  tracks.reserve(cells_.size() + 1);
+  for (const auto& cp : cells_) {
+    tracks.push_back({"cell" + std::to_string(cp->id), cp->id + 1, cp->ring.get()});
+  }
+  if (ric_ring_ != nullptr) {
+    tracks.push_back(
+        {"ric", static_cast<uint32_t>(cells_.size()) + 1, ric_ring_.get()});
+  }
+  return tracks;
+}
+
+std::string GnbDeployment::export_merged_trace() const {
+  return obs::export_merged_chrome_trace(trace_tracks());
+}
+
+std::string GnbDeployment::capture_flight_bundle(std::string_view reason) const {
+  obs::FlightRecorder recorder(flight_ctx_, /*trace_window_slots=*/16);
+  return recorder.capture(reason, last_health_, *fleet_, trace_tracks(),
+                          slots_run_);
+}
+
 uint64_t GnbDeployment::trace_hash() const {
   uint64_t h = 0xcbf29ce484222325ULL;
-  for (const auto& cp : cells_) {
-    uint64_t cell_hash = cp->ring != nullptr ? cp->ring->content_hash() : 0;
-    const unsigned char* p = reinterpret_cast<const unsigned char*>(&cell_hash);
-    for (size_t b = 0; b < sizeof(cell_hash); ++b) {
+  auto mix = [&h](uint64_t v) {
+    const unsigned char* p = reinterpret_cast<const unsigned char*>(&v);
+    for (size_t b = 0; b < sizeof(v); ++b) {
       h ^= p[b];
       h *= 0x100000001b3ULL;
     }
+  };
+  for (const auto& cp : cells_) {
+    mix(cp->ring != nullptr ? cp->ring->content_hash() : 0);
   }
+  mix(ric_ring_ != nullptr ? ric_ring_->content_hash() : 0);
   return h;
 }
 

@@ -33,6 +33,9 @@
 #include <vector>
 
 #include "common/result.h"
+#include "obs/fleet.h"
+#include "obs/flight.h"
+#include "obs/slo.h"
 #include "ran/mac.h"
 #include "ran/scheduler_iface.h"
 #include "rt/clock.h"
@@ -79,8 +82,20 @@ struct DeploymentConfig {
   /// Slots between E2 indications per cell (0 disables the E2 loop
   /// entirely: no agents' comm/ctl plugins, no RIC xApp).
   uint32_t report_period_slots = 10;
-  /// Per-cell trace ring capacity (0 leaves per-cell tracing off).
+  /// Per-cell trace ring capacity (0 leaves per-cell tracing off). When on,
+  /// the deployment also owns a coordinator-side "ric" ring of the same
+  /// capacity, so RIC dispatch spans land in the merged trace too.
   size_t trace_capacity = 0;
+  /// This deployment's gNB id in the fleet hierarchy (one deployment = one
+  /// gNB today; federation PRs will differentiate).
+  uint32_t gnb_id = 0;
+  /// Slots per SLO evaluation window (0 disables the SLO engine). Windows
+  /// are evaluated by the coordinator at barrier-stepped run_slots
+  /// boundaries only (run_slots_unsynced never evaluates: free-running
+  /// cells have no common window edge).
+  uint32_t slo_window_slots = 0;
+  /// Objectives; empty = obs::default_slos(slot budget).
+  std::vector<obs::SloSpec> slos;
   /// MAC template; cell, domain and error_seed are overridden per cell.
   ran::MacConfig mac;
   std::vector<SliceSpec> slices = default_mvno_slices();
@@ -120,10 +135,46 @@ class GnbDeployment {
   plugin::PluginManager& sched_plugins(uint32_t cell);
   CellExecutor& executor(uint32_t cell);
   obs::TraceRing* trace_ring(uint32_t cell);  ///< null if trace_capacity == 0
+  obs::TraceRing* ric_trace_ring() { return ric_ring_.get(); }
   ric::NearRtRic& ric() { return *ric_; }
 
-  /// FNV-1a combination of the per-cell trace-ring hashes (0 when tracing
-  /// is off). Deterministic under virtual time.
+  // --- Fleet telemetry plane (obs/fleet.h). The aggregator is always on:
+  // --- handles resolve at construction, per-cell collection rides each
+  // --- cell's indication (zero-alloc, on the cell's own thread).
+  obs::FleetAggregator& fleet() { return *fleet_; }
+  const obs::FleetAggregator& fleet() const { return *fleet_; }
+  /// Ground truth for the RIC-reconstruction invariant: the exact summary
+  /// each cell last shipped in an indication. In a loss-free run the RIC's
+  /// fleet_view() equals this bit for bit.
+  obs::FleetView shipped_view() const;
+
+  /// Most recent SLO evaluation (default-constructed before the first
+  /// window or when slo_window_slots == 0).
+  const obs::HealthReport& last_health() const { return last_health_; }
+  uint64_t slo_breach_windows() const { return slo_breach_windows_; }
+  /// Invoked by the coordinator after every unhealthy window evaluation,
+  /// between barriers (all workers parked) — the flight-recorder trigger.
+  void set_breach_hook(std::function<void(const obs::HealthReport&)> hook) {
+    breach_hook_ = std::move(hook);
+  }
+
+  /// Replay coordinates embedded in flight bundles; the constructor fills
+  /// seed/cells/virtual_time, callers may override (chaos adds its episode
+  /// shape, tools their command line).
+  void set_flight_context(obs::FlightContext ctx) { flight_ctx_ = std::move(ctx); }
+  const obs::FlightContext& flight_context() const { return flight_ctx_; }
+  /// Self-contained post-mortem bundle of the deployment's current state
+  /// (obs/flight.h). Pure function of deployment state under virtual time.
+  std::string capture_flight_bundle(std::string_view reason) const;
+
+  /// Per-cell process tracks (+ the ric ring) for the merged trace.
+  std::vector<obs::MergedTrack> trace_tracks() const;
+  /// One Chrome trace over every cell's ring and the ric ring, with
+  /// per-cell drop accounting in the metadata (obs/fleet.h).
+  std::string export_merged_trace() const;
+
+  /// FNV-1a combination of the per-cell trace-ring hashes and the ric
+  /// ring's (0 when tracing is off). Deterministic under virtual time.
   uint64_t trace_hash() const;
 
   /// Deterministic fingerprint of the run: the global metrics JSON
@@ -143,6 +194,14 @@ class GnbDeployment {
   std::optional<VirtualClockGuard> vguard_;
   std::vector<std::unique_ptr<Cell>> cells_;
   std::unique_ptr<ric::NearRtRic> ric_;
+  std::unique_ptr<obs::TraceRing> ric_ring_;
+  std::unique_ptr<obs::FleetAggregator> fleet_;
+  std::unique_ptr<obs::SloEngine> slo_;
+  obs::HealthReport last_health_;
+  std::function<void(const obs::HealthReport&)> breach_hook_;
+  obs::FlightContext flight_ctx_;
+  uint64_t slo_breach_windows_ = 0;
+  uint64_t window_start_slot_ = 0;
   Status status_;
   uint64_t slots_run_ = 0;
 };

@@ -1,0 +1,371 @@
+// Tests for the waran::obs fleet telemetry plane (obs/fleet.h, obs/slo.h,
+// obs/flight.h) and its wiring through the runtime layer:
+//
+//   - HistState is an exact snapshot of the log2 Histogram: merging states
+//     answers the same quantile queries as one combined histogram would,
+//     including the boundary buckets (0, 1, UINT64_MAX, bucket edges).
+//   - CellTelemetry round-trips through the E2-lite indication encoding
+//     bit for bit, and its absence / trailing garbage behave as specified.
+//   - The RIC's wire-reconstructed FleetView equals the deployment's
+//     shipped ground truth exactly after a report boundary.
+//   - Repeated virtual-time runs export byte-identical merged traces,
+//     identical HealthReports and identical flight bundles — threaded or
+//     inline.
+//   - A breached SLO lands kSloBreach journal entries, fires the breach
+//     hook, and yields a deterministic flight-recorder bundle.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/anomaly.h"
+#include "obs/fleet.h"
+#include "obs/flight.h"
+#include "obs/metrics.h"
+#include "obs/slo.h"
+#include "obs/trace.h"
+#include "ric/e2lite.h"
+#include "ric/near_rt_ric.h"
+#include "rt/deployment.h"
+
+namespace waran {
+namespace {
+
+// ---------------------------------------------------------------------------
+// HistState: exact log2-histogram snapshot + merge
+
+// Adversarial value set hitting the boundary buckets: 0 (bucket 0), 1,
+// every bucket edge (2^k - 1 rolls into bucket k, 2^k into bucket k+1) and
+// the saturating top bucket.
+std::vector<uint64_t> boundary_values() {
+  std::vector<uint64_t> vs = {0, 1, 2, 3};
+  for (int k = 2; k < 64; k += 7) {
+    vs.push_back((uint64_t{1} << k) - 1);
+    vs.push_back(uint64_t{1} << k);
+    vs.push_back((uint64_t{1} << k) + 1);
+  }
+  vs.push_back(UINT64_MAX - 1);
+  vs.push_back(UINT64_MAX);
+  return vs;
+}
+
+TEST(HistState, SnapshotMatchesHistogramExactly) {
+  obs::Histogram h;
+  for (uint64_t v : boundary_values()) h.add(v);
+  const obs::HistState s = obs::HistState::from(h);
+  EXPECT_EQ(s.count, h.count());
+  EXPECT_EQ(s.sum, h.sum());
+  for (double q : {0.01, 0.10, 0.25, 0.50, 0.75, 0.90, 0.99, 1.0}) {
+    EXPECT_EQ(s.quantile(q), h.quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(HistState, MergeEqualsCombinedHistogram) {
+  // Split the boundary set across two histograms, merge the snapshots, and
+  // demand bucket-for-bucket equality with one histogram that saw it all.
+  obs::Histogram a, b, combined;
+  const std::vector<uint64_t> vs = boundary_values();
+  for (size_t i = 0; i < vs.size(); ++i) {
+    (i % 2 == 0 ? a : b).add(vs[i]);
+    combined.add(vs[i]);
+  }
+  obs::HistState merged = obs::HistState::from(a);
+  merged.merge(obs::HistState::from(b));
+  EXPECT_EQ(merged, obs::HistState::from(combined));
+  for (double q : {0.01, 0.50, 0.99, 1.0}) {
+    EXPECT_EQ(merged.quantile(q), combined.quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(HistState, SubtractRecoversWindowDelta) {
+  obs::Histogram h;
+  h.add(0);
+  h.add(5);
+  const obs::HistState base = obs::HistState::from(h);
+  h.add(1);
+  h.add(UINT64_MAX);
+  obs::HistState window = obs::HistState::from(h);
+  window.subtract(base);
+  obs::Histogram delta;
+  delta.add(1);
+  delta.add(UINT64_MAX);
+  EXPECT_EQ(window, obs::HistState::from(delta));
+}
+
+TEST(HistState, EmptyQuantileIsZero) {
+  obs::HistState s;
+  EXPECT_EQ(s.quantile(0.5), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// CellTelemetry merge + E2 wire round-trip
+
+obs::CellTelemetry sample_telemetry(uint32_t cell) {
+  obs::CellTelemetry t;
+  t.gnb = 3;
+  t.cell = cell;
+  t.slots = 100 + cell;
+  t.slot_overruns = 2;
+  t.prb_granted = 5000 + cell;
+  t.prb_capacity = 5200;
+  t.slots_scheduled = 300;
+  t.sched_faults = 4;
+  t.sanitized_allocs = 1;
+  t.plugin_calls = 321;
+  t.plugin_traps = 5;
+  t.plugin_fuel_exhausted = 2;
+  t.plugin_declines = 1;
+  t.plugin_fuel_used = 987654;
+  t.quarantines = 1;
+  t.frames_rejected = 3;
+  t.anomalies = 11;
+  t.trace_writes = 4096;
+  t.trace_dropped = 17;
+  t.slot_wall_ns.buckets[0] = 1;
+  t.slot_wall_ns.buckets[10] = 90 + cell;
+  t.slot_wall_ns.buckets[obs::Histogram::kBuckets - 1] = 1;
+  t.slot_wall_ns.sum = 123456789;
+  t.slot_wall_ns.count = 92 + cell;
+  t.sched_wall_ns.buckets[7] = 300;
+  t.sched_wall_ns.sum = 777;
+  t.sched_wall_ns.count = 300;
+  return t;
+}
+
+TEST(CellTelemetry, MergeSumsCountersAndBuckets) {
+  obs::CellTelemetry a = sample_telemetry(0);
+  const obs::CellTelemetry b = sample_telemetry(1);
+  a.merge(b);
+  EXPECT_EQ(a.cells_merged, 2u);
+  EXPECT_EQ(a.cell, 0u);  // keeps the lowest member id
+  EXPECT_EQ(a.slots, (100u + 0) + (100u + 1));
+  EXPECT_EQ(a.prb_granted, 5000u + 5001u);
+  EXPECT_EQ(a.slot_wall_ns.buckets[10], (90u + 0) + (90u + 1));
+  EXPECT_EQ(a.slot_wall_ns.count, (92u + 0) + (92u + 1));
+  EXPECT_EQ(a.sched_wall_ns.buckets[7], 600u);
+}
+
+TEST(E2Telemetry, TelemetryBlockRoundTripsBitForBit) {
+  ric::IndicationReport report;
+  ric::SliceReport s;
+  s.slice_id = 1;
+  s.quota_prbs = 12;
+  s.target_bps = 4e6;
+  s.rate_bps = 3.5e6;
+  report.slices.push_back(s);
+  ric::UeReport u;
+  u.rnti = 17;
+  u.serving_cell = 2;
+  u.cqi = 9;
+  report.ues.push_back(u);
+  report.telemetry = sample_telemetry(2);
+
+  const std::vector<uint8_t> wire = ric::encode_indication(report);
+  auto decoded = ric::decode_indication(wire);
+  ASSERT_TRUE(decoded.ok()) << decoded.error().message;
+  ASSERT_TRUE(decoded->telemetry.has_value());
+  EXPECT_EQ(*decoded->telemetry, *report.telemetry);
+  EXPECT_EQ(*decoded, report);
+}
+
+TEST(E2Telemetry, AbsentBlockDecodesAsNullopt) {
+  ric::IndicationReport report;
+  report.slices.push_back({});
+  const std::vector<uint8_t> wire = ric::encode_indication(report);
+  auto decoded = ric::decode_indication(wire);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_FALSE(decoded->telemetry.has_value());
+}
+
+TEST(E2Telemetry, TrailingGarbageStaysADecodeError) {
+  ric::IndicationReport report;
+  report.telemetry = sample_telemetry(0);
+  std::vector<uint8_t> wire = ric::encode_indication(report);
+  wire.push_back(0xab);  // junk after a valid telemetry block
+  EXPECT_FALSE(ric::decode_indication(wire).ok());
+
+  std::vector<uint8_t> no_tel = ric::encode_indication(ric::IndicationReport{});
+  no_tel.push_back(0x01);  // one junk byte is not a valid tagged tail either
+  EXPECT_FALSE(ric::decode_indication(no_tel).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Deployment wiring: ground truth vs RIC reconstruction, determinism, SLOs
+
+void reset_global_obs() {
+  obs::MetricsRegistry::global().reset_values();
+  obs::AnomalyJournal::global().clear();
+  obs::set_current_slot(0);
+}
+
+rt::DeploymentConfig fleet_config(uint32_t cells, bool threaded) {
+  rt::DeploymentConfig cfg;
+  cfg.cells = cells;
+  cfg.seed = 11;
+  cfg.threaded = threaded;
+  cfg.virtual_time = true;
+  cfg.report_period_slots = 10;
+  cfg.trace_capacity = 256;
+  cfg.slo_window_slots = 20;
+  return cfg;
+}
+
+TEST(FleetPlane, RicReconstructionEqualsShippedGroundTruth) {
+  reset_global_obs();
+  rt::GnbDeployment dep(fleet_config(2, /*threaded=*/true));
+  ASSERT_TRUE(dep.status().ok()) << dep.status().error().message;
+  ASSERT_TRUE(dep.run_slots(40).ok());
+
+  const ric::RicStats& stats = dep.ric().stats();
+  EXPECT_GT(stats.telemetry_updates, 0u);
+  EXPECT_EQ(stats.telemetry_updates, stats.indications_processed);
+  EXPECT_EQ(dep.ric().fleet_view().size(), 2u);
+  // The fleet-plane invariant: the view rebuilt purely from blocks that
+  // crossed the wire (frame -> link -> unframe -> decode) equals the exact
+  // summaries the cells last shipped — bucket for bucket.
+  EXPECT_EQ(dep.ric().fleet_view(), dep.shipped_view());
+}
+
+TEST(FleetPlane, RollupHierarchyIsExact) {
+  reset_global_obs();
+  rt::DeploymentConfig cfg = fleet_config(3, /*threaded=*/false);
+  rt::GnbDeployment dep(cfg);
+  ASSERT_TRUE(dep.status().ok());
+  ASSERT_TRUE(dep.run_slots(30).ok());
+
+  for (uint32_t i = 0; i < 3; ++i) (void)dep.fleet().collect_cell(i);
+  const obs::CellTelemetry fleet = dep.fleet().fleet_rollup();
+  EXPECT_EQ(fleet.cells_merged, 3u);
+  EXPECT_EQ(fleet.slots, 3u * 30u);
+  EXPECT_EQ(fleet.prb_capacity, 3u * 30u * cfg.mac.n_prbs);
+  // gNB rollup == fleet rollup while the deployment is a single gNB.
+  EXPECT_EQ(dep.fleet().gnb_rollup(cfg.gnb_id), fleet);
+  // Manual merge of the per-cell leaves must agree with the rollup.
+  obs::CellTelemetry manual = dep.fleet().cell_total(0);
+  manual.merge(dep.fleet().cell_total(1));
+  manual.merge(dep.fleet().cell_total(2));
+  EXPECT_EQ(manual, fleet);
+}
+
+TEST(FleetPlane, WindowDeltasSubtractExactly) {
+  reset_global_obs();
+  rt::GnbDeployment dep(fleet_config(2, /*threaded=*/false));
+  ASSERT_TRUE(dep.status().ok());
+  ASSERT_TRUE(dep.run_slots(20).ok());
+  for (uint32_t i = 0; i < 2; ++i) (void)dep.fleet().collect_cell(i);
+  dep.fleet().begin_window();
+  ASSERT_TRUE(dep.run_slots(10).ok());
+  for (uint32_t i = 0; i < 2; ++i) (void)dep.fleet().collect_cell(i);
+  const obs::CellTelemetry w = dep.fleet().cell_window(0);
+  EXPECT_EQ(w.slots, 10u);
+  EXPECT_EQ(dep.fleet().fleet_rollup(/*window=*/true).slots, 2u * 10u);
+}
+
+struct FleetRunCapture {
+  std::string merged_trace;
+  std::string health_json;
+  std::string flight;
+  uint64_t breach_windows = 0;
+};
+
+FleetRunCapture run_fleet(uint32_t cells, bool threaded, uint32_t slots) {
+  reset_global_obs();
+  rt::GnbDeployment dep(fleet_config(cells, threaded));
+  EXPECT_TRUE(dep.status().ok());
+  EXPECT_TRUE(dep.run_slots(slots).ok());
+  FleetRunCapture out;
+  out.merged_trace = dep.export_merged_trace();
+  out.health_json = dep.last_health().to_json();
+  out.flight = dep.capture_flight_bundle("test");
+  out.breach_windows = dep.slo_breach_windows();
+  return out;
+}
+
+TEST(FleetPlane, RepeatedRunsExportByteIdenticalArtifacts) {
+  // The acceptance bar: repeated virtual-time runs of a 4-cell deployment
+  // produce byte-identical merged traces, identical HealthReports and
+  // identical flight bundles — and inline execution matches threaded.
+  const FleetRunCapture a = run_fleet(4, /*threaded=*/true, 60);
+  const FleetRunCapture b = run_fleet(4, /*threaded=*/true, 60);
+  const FleetRunCapture inline_run = run_fleet(4, /*threaded=*/false, 60);
+  EXPECT_FALSE(a.merged_trace.empty());
+  EXPECT_EQ(a.merged_trace, b.merged_trace);
+  EXPECT_EQ(a.health_json, b.health_json);
+  EXPECT_EQ(a.flight, b.flight);
+  EXPECT_EQ(a.merged_trace, inline_run.merged_trace);
+  EXPECT_EQ(a.health_json, inline_run.health_json);
+}
+
+TEST(FleetPlane, MergedTraceDeclaresPerCellDrops) {
+  reset_global_obs();
+  rt::DeploymentConfig cfg = fleet_config(2, /*threaded=*/false);
+  cfg.trace_capacity = 64;  // small ring: wrap-around loss is certain
+  rt::GnbDeployment dep(cfg);
+  ASSERT_TRUE(dep.status().ok());
+  ASSERT_TRUE(dep.run_slots(40).ok());
+  const std::string trace = dep.export_merged_trace();
+  ASSERT_NE(dep.trace_ring(0), nullptr);
+  EXPECT_GT(dep.trace_ring(0)->dropped(), 0u);
+  // Drop accounting appears verbatim in the metadata, never silently.
+  EXPECT_NE(trace.find("\"rings\":["), std::string::npos);
+  EXPECT_NE(trace.find("\"dropped\":" +
+                       std::to_string(dep.trace_ring(0)->dropped())),
+            std::string::npos);
+}
+
+TEST(FleetPlane, BreachedSloJournalsAndCapturesFlightBundle) {
+  reset_global_obs();
+  rt::DeploymentConfig cfg = fleet_config(2, /*threaded=*/true);
+  // A floor no real run can meet (PRB utilization > 150%): every window
+  // must breach, at fleet scope, deterministically.
+  cfg.slos = {{"impossible_floor", obs::SloMetric::kPrbUtilizationFloor,
+               obs::SloScope::kFleet, 1.5}};
+  rt::GnbDeployment dep(cfg);
+  ASSERT_TRUE(dep.status().ok());
+
+  uint64_t hook_fires = 0;
+  dep.set_breach_hook([&hook_fires](const obs::HealthReport& h) {
+    ++hook_fires;
+    EXPECT_FALSE(h.healthy);
+    EXPECT_EQ(h.breaches, 1u);
+  });
+  ASSERT_TRUE(dep.run_slots(60).ok());  // 3 windows of 20 slots
+
+  EXPECT_EQ(dep.slo_breach_windows(), 3u);
+  EXPECT_EQ(hook_fires, 3u);
+  EXPECT_FALSE(dep.last_health().healthy);
+
+  // Every breached verdict is journaled as kSloBreach under domain "slo".
+  uint64_t journaled = 0;
+  for (const obs::AnomalyRecord& r : obs::AnomalyJournal::global().snapshot()) {
+    if (r.kind == obs::AnomalyKind::kSloBreach) {
+      ++journaled;
+      EXPECT_EQ(r.domain, "slo");
+    }
+  }
+  EXPECT_EQ(journaled, 3u);
+
+  const std::string bundle = dep.capture_flight_bundle("slo_breach");
+  EXPECT_NE(bundle.find("\"waran_flight_bundle\":1"), std::string::npos);
+  EXPECT_NE(bundle.find("\"reason\":\"slo_breach\""), std::string::npos);
+  EXPECT_NE(bundle.find("slo_breach"), std::string::npos);
+  EXPECT_NE(bundle.find("\"replay\":"), std::string::npos);
+}
+
+TEST(SloEngine, DefaultObjectivesPassOnAHealthyRun) {
+  reset_global_obs();
+  rt::GnbDeployment dep(fleet_config(2, /*threaded=*/true));
+  ASSERT_TRUE(dep.status().ok());
+  ASSERT_TRUE(dep.run_slots(40).ok());
+  const obs::HealthReport& h = dep.last_health();
+  EXPECT_TRUE(h.healthy);
+  EXPECT_EQ(h.breaches, 0u);
+  // 4 cell-scoped objectives x 2 cells + 1 fleet-scoped floor.
+  EXPECT_EQ(h.verdicts.size(), 4u * 2u + 1u);
+  EXPECT_EQ(dep.slo_breach_windows(), 0u);
+}
+
+}  // namespace
+}  // namespace waran

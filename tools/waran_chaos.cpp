@@ -22,6 +22,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 
 #include "chaos/harness.h"
 #include "common/log.h"
@@ -36,7 +37,7 @@ void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--seed S] [--episodes N] [--rounds R]\n"
                "          [--slots-per-round K] [--cells C] [--virtual-time]\n"
-               "          [--no-probe] [--verbose]\n"
+               "          [--no-probe] [--flight-dir DIR] [--verbose]\n"
                "\n"
                "  --seed S             base seed (default 1); with\n"
                "                       --episodes 1 this replays one episode\n"
@@ -50,8 +51,27 @@ void usage(const char* argv0) {
                "  --virtual-time       run on the rt virtual clock (no wall\n"
                "                       pacing) and report the speedup\n"
                "  --no-probe           skip the zero-alloc warm-path probe\n"
+               "  --flight-dir DIR     write flight-recorder bundles from\n"
+               "                       breaching or failing multicell episodes\n"
+               "                       to DIR/flight_<seed>.json\n"
                "  --verbose            print the injection log per episode\n",
                argv0);
+}
+
+// Persists a breaching/failing episode's flight bundle; returns the path
+// (empty on write failure). The directory must already exist — CI creates
+// it, and failing silently here would hide the artifact we need most.
+std::string write_flight_bundle(const std::string& dir,
+                                const chaos::EpisodeReport& r) {
+  std::string path = dir + "/flight_" + std::to_string(r.seed) + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "flight-dir: cannot write %s\n", path.c_str());
+    return {};
+  }
+  std::fwrite(r.flight_bundle.data(), 1, r.flight_bundle.size(), f);
+  std::fclose(f);
+  return path;
 }
 
 void print_episode(const chaos::EpisodeReport& r, bool with_log) {
@@ -70,6 +90,7 @@ int main(int argc, char** argv) {
   bool seed_given = false;
   bool verbose = false;
   uint32_t episodes = 0;
+  std::string flight_dir;
   chaos::EpisodeOptions base;
 
   for (int i = 1; i < argc; ++i) {
@@ -97,6 +118,8 @@ int main(int argc, char** argv) {
       base.virtual_time = true;
     } else if (std::strcmp(argv[i], "--no-probe") == 0) {
       base.warm_path_probe = false;
+    } else if (std::strcmp(argv[i], "--flight-dir") == 0) {
+      flight_dir = next("--flight-dir");
     } else if (std::strcmp(argv[i], "--verbose") == 0 ||
                std::strcmp(argv[i], "-v") == 0) {
       verbose = true;
@@ -118,6 +141,7 @@ int main(int argc, char** argv) {
   uint64_t injections = 0;
   uint64_t anomalies = 0;
   uint64_t total_slots = 0;
+  uint64_t slo_breach_windows = 0;
   uint64_t by_kind[chaos::kFaultKindCount] = {};
   // real_ns() reads wall time regardless of clock mode, so the speedup
   // report works while the episodes themselves run on virtual time.
@@ -141,6 +165,14 @@ int main(int argc, char** argv) {
     } else if (verbose || episodes == 1) {
       print_episode(r, verbose);
     }
+    slo_breach_windows += r.slo_breach_windows;
+    if (!flight_dir.empty() && !r.flight_bundle.empty() &&
+        (!r.passed || r.slo_breaches > 0)) {
+      std::string path = write_flight_bundle(flight_dir, r);
+      if (!path.empty() && (verbose || !r.passed)) {
+        std::printf("  flight bundle: %s\n", path.c_str());
+      }
+    }
   }
 
   const uint64_t wall_ns = waran::rt::Clock::global().real_ns() - wall_t0;
@@ -150,6 +182,9 @@ int main(int argc, char** argv) {
   std::printf("  injections: %" PRIu64 "   anomalies: %" PRIu64
               "   failures: %u\n",
               injections, anomalies, failures);
+  if (base.cells > 1) {
+    std::printf("  slo breach windows: %" PRIu64 "\n", slo_breach_windows);
+  }
   if (base.virtual_time) {
     // Episodes run at 1 simulated second per MAC slot (slot_us = 1'000'000).
     // total_slots counts every cell's slots; elapsed simulated time is the
