@@ -7,6 +7,7 @@
 #include <fstream>
 #include <map>
 #include <memory>
+#include <set>
 #include <sstream>
 #include <string>
 
@@ -22,15 +23,16 @@ namespace waran::bench {
 
 /// Compiles W source and instantiates it (decode -> validate -> link),
 /// aborting the bench on any failure.
-inline std::unique_ptr<wasm::Instance> instantiate_w(const char* src,
-                                                     const wasm::Linker& linker = {}) {
+inline std::unique_ptr<wasm::Instance> instantiate_w(
+    const char* src, const wasm::Linker& linker = {},
+    const wasm::InstanceOptions& options = {}) {
   auto bytes = wcc::compile(src);
   if (!bytes.ok()) std::abort();
   auto module = wasm::decode_module(*bytes);
   if (!module.ok()) std::abort();
   if (!wasm::validate_module(*module).ok()) std::abort();
   auto inst = wasm::Instance::instantiate(
-      std::make_shared<wasm::Module>(std::move(*module)), linker);
+      std::make_shared<wasm::Module>(std::move(*module)), linker, options);
   if (!inst.ok()) std::abort();
   return std::move(*inst);
 }
@@ -75,6 +77,14 @@ inline std::string bench_json_path() {
 /// anything that is not a `"key": number` pair) so separate bench processes
 /// — abl_engine for ns/op + instrs/s, fig5d for latency quantiles — can
 /// accumulate into one report file.
+///
+/// Ownership contract: keys are namespaced `<producer>.<rest>` (first dot
+/// segment = the bench binary), and a merge REPLACES every key under the
+/// producers it writes rather than overlaying them. Plain overlay semantics
+/// let a renamed or deleted benchmark leave its stale key in the accumulated
+/// report forever, so the baseline gate kept "passing" on numbers no binary
+/// produced any more; with prefix ownership a removed benchmark's key
+/// disappears on the next run and the gate fails it as MISSING.
 inline void bench_json_merge(const std::map<std::string, double>& entries) {
   const std::string path = bench_json_path();
   std::map<std::string, double> all;
@@ -100,6 +110,17 @@ inline void bench_json_merge(const std::map<std::string, double>& entries) {
           i = static_cast<size_t>(end - text.c_str());
         }
       }
+    }
+  }
+  std::set<std::string> producers;
+  for (const auto& [k, _] : entries) {
+    producers.insert(k.substr(0, k.find('.')));
+  }
+  for (auto it = all.begin(); it != all.end();) {
+    if (producers.contains(it->first.substr(0, it->first.find('.')))) {
+      it = all.erase(it);
+    } else {
+      ++it;
     }
   }
   for (const auto& [k, v] : entries) all[k] = v;

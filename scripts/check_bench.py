@@ -14,6 +14,12 @@ Rules:
     throughput number, so it gets no tolerance.
   * Every `*.p99_us` key in the baseline is an upper bound: measured must
     be <= baseline / tolerance.
+  * Measured keys with a gated suffix but no baseline entry are reported as
+    `new (unchecked)` and pass — adding a benchmark must not require
+    touching the baseline in the same change. The reverse is not tolerated:
+    a baseline key the measured file no longer produces fails as MISSING
+    (bench_json_merge's producer-prefix ownership guarantees a removed
+    benchmark's key actually disappears from the measured report).
 
 Exit code 0 on pass, 1 on any violation (all violations are reported).
 """
@@ -72,6 +78,9 @@ def main():
                 failures.append(f"ALLOCS   {key}: {got} != 0")
             else:
                 print(f"ok       {key}: 0")
+        elif (key.endswith(".items_per_second") or key.endswith(".p99_us")) \
+                and key not in baseline:
+            print(f"new      {key}: {got:.3g} (unchecked; no baseline entry)")
 
     if failures:
         print(f"\n{len(failures)} perf-smoke violation(s):", file=sys.stderr)

@@ -67,6 +67,10 @@ GnbDeployment::GnbDeployment(DeploymentConfig config) : config_(std::move(config
 
     cell->sched_plugins = std::make_unique<plugin::PluginManager>();
     cell->sched_plugins->set_domain(mc.domain);
+    // Before install(): dispatch/cache are captured at plugin load time.
+    if (config_.tier_up_threshold > 0) {
+      cell->sched_plugins->enable_tier2(config_.tier_up_threshold);
+    }
 
     for (const SliceSpec& s : config_.slices) {
       auto bytes = sched::plugins::scheduler(s.policy);

@@ -2,6 +2,7 @@
 
 #include <bit>
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
 #include <limits>
 
@@ -92,12 +93,39 @@ Result<std::unique_ptr<Instance>> Instance::instantiate(
 
   Dispatch d = options.dispatch;
   if (d == Dispatch::kDefault) {
+    // Env override for tests/ops: force a backend everywhere the embedder
+    // left the choice open. Explicit pins (e.g. the differential oracle's
+    // kSwitch instance) are never overridden.
+    if (const char* env = std::getenv("WARAN_DISPATCH"); env != nullptr) {
+      const std::string_view want(env);
+      if (want == "switch") d = Dispatch::kSwitch;
+      else if (want == "threaded") d = Dispatch::kThreaded;
+      else if (want == "specialized") d = Dispatch::kSpecialized;
+    }
+  }
+  if (d == Dispatch::kDefault) {
     d = WARAN_HAS_THREADED_DISPATCH ? Dispatch::kThreaded : Dispatch::kSwitch;
   }
 #if !WARAN_HAS_THREADED_DISPATCH
   if (d == Dispatch::kThreaded) d = Dispatch::kSwitch;
 #endif
   inst->dispatch_ = d;
+  if (d == Dispatch::kSpecialized) {
+    const size_t nfuncs = inst->translated_->funcs.size();
+    inst->profile_.resize(nfuncs);
+    inst->active_.resize(nfuncs);
+    for (size_t i = 0; i < nfuncs; ++i) {
+      inst->active_[i] = &inst->translated_->funcs[i];
+    }
+    inst->tier_up_threshold_ =
+        options.tier_up_threshold == 0 ? 1 : options.tier_up_threshold;
+    if (options.code_cache != nullptr) {
+      inst->cache_ = options.code_cache;
+    } else {
+      inst->owned_cache_ = std::make_unique<CodeCache>();
+      inst->cache_ = inst->owned_cache_.get();
+    }
+  }
 
   // Resolve imports. WA-RAN hosts only expose functions; table/memory/global
   // imports are rejected at instantiation (decoded for completeness).
@@ -283,8 +311,27 @@ Status Instance::invoke_host(uint32_t import_index, std::span<const Value> args,
 Status Instance::push_frame(uint32_t func_index) {
   ExecContext& ec = exec_;
   if (ec.frames.size() >= max_call_depth_) return Error::trap("call stack exhausted");
-  const TranslatedFunc& tf =
-      translated_->funcs[func_index - module_->num_imported_funcs];
+  const uint32_t di = func_index - module_->num_imported_funcs;
+  const TranslatedFunc* tfp;
+  if (dispatch_ == Dispatch::kSpecialized) {
+    // Tier-up point. Runs on the calling thread (the cell's own worker
+    // under rt), so the cache needs no locks. The rewrite below is the
+    // only allocating step of the tier-2 backend; frames already running
+    // the tier-1 stream keep it — streams are never mutated, and the
+    // append-only cache keeps installed pointers stable — so a threshold
+    // crossing mid-recursion or under host re-entry is safe.
+    FuncProfile& p = profile_[di];
+    ++p.calls;
+    tfp = active_[di];
+    if (tfp == &translated_->funcs[di] && p.calls >= tier_up_threshold_) {
+      tfp = cache_->tier_up(tfp, p);
+      active_[di] = tfp;
+      ++tier_up_events_;
+    }
+  } else {
+    tfp = &translated_->funcs[di];
+  }
+  const TranslatedFunc& tf = *tfp;
   const uint32_t nparams = tf.num_params;
   const uint32_t locals_base = static_cast<uint32_t>(ec.locals.size());
   const uint32_t stack_base = ec.top - nparams;
@@ -344,12 +391,15 @@ Status Instance::run(size_t base_frames, Value* result) {
 #if WARAN_HAS_THREADED_DISPATCH
   if (dispatch_ == Dispatch::kThreaded) return run_threaded(base_frames, result);
 #endif
+  if (dispatch_ == Dispatch::kSpecialized) {
+    return run_specialized(base_frames, result);
+  }
   return run_switch(base_frames, result);
 }
 
-// The two dispatcher bodies are generated from one shared core so their
+// The three dispatcher bodies are generated from one shared core so their
 // semantics cannot drift; the switch build is the differential-test oracle
-// for the threaded hot path.
+// for the threaded and specialized hot paths.
 #define WARAN_RUN_NAME run_switch
 #define WARAN_INTERP_THREADED 0
 #include "wasm/interp_loop.inc"
@@ -363,6 +413,13 @@ Status Instance::run_threaded(size_t base_frames, Value* result) {
   return run_switch(base_frames, result);
 }
 #endif
+
+// Tier-2 backend: threaded dispatch (switch where computed goto is
+// unavailable) plus the profiling hooks that feed the specializer.
+#define WARAN_RUN_NAME run_specialized
+#define WARAN_INTERP_THREADED WARAN_HAS_THREADED_DISPATCH
+#define WARAN_INTERP_TIER2 1
+#include "wasm/interp_loop.inc"
 
 void Linker::register_func(std::string module, std::string name, HostFunc fn) {
   funcs_[{std::move(module), std::move(name)}] = std::move(fn);

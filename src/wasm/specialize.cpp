@@ -1,0 +1,262 @@
+#include "wasm/specialize.h"
+
+#include <vector>
+
+namespace waran::wasm {
+namespace {
+
+// Fused compare-and-branch range (contiguous in WARAN_UOP_LIST).
+bool is_fused_brif(UOp op) {
+  return static_cast<uint16_t>(op) >= static_cast<uint16_t>(UOp::kBrIfLLEq) &&
+         static_cast<uint16_t>(op) <= static_cast<uint16_t>(UOp::kBrIfLCGeU);
+}
+
+// kLGetCI32/C* fusion requires the kConst Value bits to fit in 32 bits so
+// the handler's zero-extension rebuilds them exactly (Value::from_i32 and
+// from_u32 both store zero-extended bits).
+bool const_fits_u32(const UInstr& u) { return (u.imm.u64 >> 32) == 0; }
+
+// I32 binops foldable against a constant right operand. kI32Add/Mul/And are
+// absent on purpose: the baseline translator already folds those into
+// kCAddI32/kCMulI32/kCAndI32, so [kConst, binop] never reaches us for them.
+bool c_fold_op(UOp op, UOp* out) {
+  switch (op) {
+    case UOp::kI32Sub:  *out = UOp::kCSubI32; return true;
+    case UOp::kI32DivS: *out = UOp::kCDivSI32; return true;
+    case UOp::kI32DivU: *out = UOp::kCDivUI32; return true;
+    case UOp::kI32RemS: *out = UOp::kCRemSI32; return true;
+    case UOp::kI32RemU: *out = UOp::kCRemUI32; return true;
+    case UOp::kI32Shl:  *out = UOp::kCShlI32; return true;
+    case UOp::kI32ShrS: *out = UOp::kCShrSI32; return true;
+    case UOp::kI32ShrU: *out = UOp::kCShrUI32; return true;
+    case UOp::kI32Or:   *out = UOp::kCOrI32; return true;
+    case UOp::kI32Xor:  *out = UOp::kCXorI32; return true;
+    default: return false;
+  }
+}
+
+// Non-trapping I32 binops whose result feeds a kLocalSet.
+bool set_fold_op(UOp op, UOp* out) {
+  switch (op) {
+    case UOp::kI32Add: *out = UOp::kAddSetI32; return true;
+    case UOp::kI32Sub: *out = UOp::kSubSetI32; return true;
+    case UOp::kI32Mul: *out = UOp::kMulSetI32; return true;
+    case UOp::kI32And: *out = UOp::kAndSetI32; return true;
+    case UOp::kI32Or:  *out = UOp::kOrSetI32; return true;
+    case UOp::kI32Xor: *out = UOp::kXorSetI32; return true;
+    default: return false;
+  }
+}
+
+// One greedy fusion step: can [a, b] collapse into a single micro-op with
+// identical semantics AND an identical charge sequence? Only `a` may carry a
+// charge (kSeg), which the fused op replays first — so fuel order is
+// preserved by construction.
+bool try_fuse_pair(const UInstr& a, const UInstr& b, UInstr* out) {
+  UInstr f{};
+  switch (a.op) {
+    case UOp::kSeg:
+      if (b.op == UOp::kLocalGet) {
+        f.op = UOp::kSegLocalGet;
+        f.b = b.b;
+        f.imm.pair.y = a.b;
+        *out = f;
+        return true;
+      }
+      if (b.op == UOp::kLocalMove) {
+        f.op = UOp::kSegLocalMove;
+        f.a = b.a;
+        f.b = b.b;
+        f.imm.pair.y = a.b;
+        *out = f;
+        return true;
+      }
+      if (b.op == UOp::kLCAddSetI32) {
+        f.op = UOp::kSegLCAddSetI32;
+        f.a = b.a;
+        f.b = b.b;
+        f.imm.pair.x = static_cast<uint32_t>(b.imm.i32);
+        f.imm.pair.y = a.b;
+        *out = f;
+        return true;
+      }
+      return false;
+    case UOp::kLocalGet:
+      if (b.op == UOp::kLocalGet && a.b <= 0xFFFF) {
+        f.op = UOp::kLLGet;
+        f.a = static_cast<uint16_t>(a.b);
+        f.b = b.b;
+        *out = f;
+        return true;
+      }
+      if (b.op == UOp::kConst && a.b <= 0xFFFF && const_fits_u32(b)) {
+        f.op = UOp::kLGetCI32;
+        f.a = static_cast<uint16_t>(a.b);
+        f.imm.pair.x = static_cast<uint32_t>(b.imm.u64);
+        *out = f;
+        return true;
+      }
+      return false;
+    case UOp::kConst: {
+      UOp folded;
+      if (const_fits_u32(a) && c_fold_op(b.op, &folded)) {
+        f.op = folded;
+        f.imm.i32 = static_cast<int32_t>(static_cast<uint32_t>(a.imm.u64));
+        *out = f;
+        return true;
+      }
+      return false;
+    }
+    default: {
+      UOp folded;
+      if (b.op == UOp::kLocalSet && set_fold_op(a.op, &folded)) {
+        f.op = folded;
+        f.b = b.b;
+        *out = f;
+        return true;
+      }
+      return false;
+    }
+  }
+}
+
+}  // namespace
+
+TranslatedFunc specialize(const TranslatedFunc& tf, const FuncProfile& profile) {
+  TranslatedFunc out;
+  out.max_stack = tf.max_stack;  // fused ops never deepen the operand stack
+  out.num_params = tf.num_params;
+  out.num_locals = tf.num_locals;
+  out.result_arity = tf.result_arity;
+
+  const std::vector<UInstr>& in = tf.ops;
+  const size_t n = in.size();
+
+  // Pass 1 — fusion barriers. Branch targets and call-resume points must
+  // stay op heads: baked targets, br_entries, and the ip a frame saves
+  // across a call all index this stream.
+  std::vector<uint8_t> is_target(n, 0);
+  auto mark = [&](uint32_t t) {
+    if (t != kRetTarget && t < n) is_target[t] = 1;
+  };
+  for (size_t i = 0; i < n; ++i) {
+    const UInstr& u = in[i];
+    switch (u.op) {
+      case UOp::kBr:
+      case UOp::kBrIf:
+      case UOp::kJump:
+      case UOp::kJumpZ:
+      case UOp::kJumpNZ:
+        mark(u.b);
+        break;
+      case UOp::kCallWasm:
+      case UOp::kCallHost:
+      case UOp::kCallIndirect:
+        if (i + 1 < n) is_target[i + 1] = 1;
+        break;
+      default:
+        if (is_fused_brif(u.op)) mark(u.b);
+        break;
+    }
+  }
+  for (const UBrEntry& e : tf.br_entries) mark(e.target);
+
+  // Pass 2 — greedy left-to-right pair fusion within straight-line runs.
+  // A fusion head may itself be a target (execution lands on the fused op);
+  // the interior op must not be.
+  std::vector<UInstr>& ops = out.ops;
+  ops.reserve(n);
+  std::vector<uint32_t> old2new(n + 1, 0);
+  size_t i = 0;
+  while (i < n) {
+    old2new[i] = static_cast<uint32_t>(ops.size());
+    if (i + 1 < n && !is_target[i + 1]) {
+      UInstr fused;
+      if (try_fuse_pair(in[i], in[i + 1], &fused)) {
+        old2new[i + 1] = static_cast<uint32_t>(ops.size());
+        ops.push_back(fused);
+        i += 2;
+        continue;
+      }
+    }
+    ops.push_back(in[i]);
+    ++i;
+  }
+  old2new[n] = static_cast<uint32_t>(ops.size());
+
+  // Pass 3a — remap every control-flow target into the fused index space.
+  auto remap = [&](uint32_t t) { return t == kRetTarget ? kRetTarget : old2new[t]; };
+  for (UInstr& u : ops) {
+    switch (u.op) {
+      case UOp::kBr:
+      case UOp::kBrIf:
+      case UOp::kJump:
+      case UOp::kJumpZ:
+      case UOp::kJumpNZ:
+        u.b = remap(u.b);
+        break;
+      default:
+        if (is_fused_brif(u.op)) u.b = remap(u.b);
+        break;
+    }
+  }
+  out.br_entries = tf.br_entries;
+  for (UBrEntry& e : out.br_entries) e.target = remap(e.target);
+
+  // Pass 3b — single-level jump-chain collapse. A jump whose target is
+  // another unconditional jump skips the intermediate dispatch; the fused
+  // op charges both edge segments in tier-1 order. Conditional collapse is
+  // speculative (it only pays when taken) so it is gated on the profiled
+  // taken bias. Decisions read a pre-pass snapshot so rewrites in this loop
+  // cannot see each other.
+  const bool collapse_cond =
+      profile.cond_evals > 0 && profile.cond_taken * 2 >= profile.cond_evals;
+  struct JumpSnap {
+    bool is_jump = false;
+    uint32_t target = 0;
+    uint32_t seg = 0;
+  };
+  std::vector<JumpSnap> snap(ops.size());
+  for (size_t k = 0; k < ops.size(); ++k) {
+    snap[k] = {ops[k].op == UOp::kJump, ops[k].b, ops[k].imm.pair.y};
+  }
+  for (size_t k = 0; k < ops.size(); ++k) {
+    UInstr& u = ops[k];
+    const bool collapsible =
+        u.op == UOp::kJump ||
+        (collapse_cond && (u.op == UOp::kJumpZ || u.op == UOp::kJumpNZ));
+    if (!collapsible) continue;
+    const uint32_t t = u.b;
+    if (t == k || t >= ops.size() || !snap[t].is_jump) continue;
+    u.op = u.op == UOp::kJump    ? UOp::kJump2
+           : u.op == UOp::kJumpZ ? UOp::kJumpZ2
+                                 : UOp::kJumpNZ2;
+    u.b = snap[t].target;
+    u.imm.pair.x = snap[t].seg;  // second edge; pair.y already = own edge
+  }
+
+  return out;
+}
+
+const TranslatedFunc* CodeCache::tier_up(const TranslatedFunc* origin,
+                                         const FuncProfile& profile) {
+  auto it = by_origin_.find(origin);
+  if (it != by_origin_.end()) return it->second;
+  SpecializedFunc sf;
+  sf.func = specialize(*origin, profile);
+  sf.origin = origin;
+  sf.uops_before = static_cast<uint32_t>(origin->ops.size());
+  sf.uops_after = static_cast<uint32_t>(sf.func.ops.size());
+  specialized_.push_back(std::move(sf));
+  const TranslatedFunc* installed = &specialized_.back().func;
+  by_origin_.emplace(origin, installed);
+  ++tier_ups_;
+  return installed;
+}
+
+const TranslatedFunc* CodeCache::lookup(const TranslatedFunc* origin) const {
+  auto it = by_origin_.find(origin);
+  return it == by_origin_.end() ? nullptr : it->second;
+}
+
+}  // namespace waran::wasm

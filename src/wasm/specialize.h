@@ -1,0 +1,89 @@
+// Tier-2 specialization: profile-guided rewriting of translated micro-op
+// streams. The interpreter (run_specialized in instance.cpp) counts calls
+// per TranslatedFunc and aggregates taken-branch bias; once a function
+// crosses the tier-up threshold its stream is rewritten — superinstruction
+// re-fusion over straight-line runs, jump-chain collapse, fuel segments
+// merged into their consumers — and the rewritten stream is installed for
+// every subsequent call.
+//
+// Correctness contract: a specialized stream must be observationally
+// IDENTICAL to its tier-1 origin — results, traps (including messages),
+// fuel accounting, instructions retired, and memory contents. Fuel
+// exactness is preserved structurally: merged-charge micro-ops replay the
+// exact WARAN_CHARGE sequence of the ops they replace (two charges stay two
+// charges), so a budget that dies between the original charge points dies
+// at the same point in the specialized stream. Fusion never crosses a
+// branch target or a call-resume point, so baked branch targets and frame
+// ip indices stay valid.
+//
+// Threading contract: a CodeCache is single-writer. The rt layer pins each
+// cell's engines to one CellExecutor worker, tier-up runs synchronously on
+// that worker inside push_frame, and the cache is only ever touched from
+// that thread — per-cell ownership needs no locks. Streams are stored in a
+// deque so installed pointers stay stable while later tier-ups append.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+
+#include "wasm/translate.h"
+
+namespace waran::wasm {
+
+/// Aggregate execution profile for one defined function, maintained by the
+/// specializing interpreter while the function still runs its tier-1
+/// stream. Branch bias is aggregated per function (not per site): it only
+/// gates the speculative jump-chain collapse of conditional jumps, where a
+/// coarse signal is enough and a per-site table would cost warm-path space.
+struct FuncProfile {
+  uint64_t calls = 0;
+  uint64_t cond_evals = 0;  ///< kJumpZ/kJumpNZ executions (tier-1 stream)
+  uint64_t cond_taken = 0;  ///< ... of which took the jump
+};
+
+/// A specialized stream plus provenance for introspection/disasm.
+struct SpecializedFunc {
+  TranslatedFunc func;
+  const TranslatedFunc* origin = nullptr;
+  uint32_t uops_before = 0;
+  uint32_t uops_after = 0;
+};
+
+/// Pure rewrite of one tier-1 stream. Never fails: when nothing fuses the
+/// result is an identical copy. `profile` only influences which speculative
+/// rewrites are taken (conditional jump-chain collapse requires a taken
+/// bias >= 1/2); it never affects semantics.
+TranslatedFunc specialize(const TranslatedFunc& tf, const FuncProfile& profile);
+
+/// Per-cell store of specialized streams. Append-only, keyed by the tier-1
+/// stream's address (module translations are shared, so instances of one
+/// module sharing a cache also share each specialized stream). All methods
+/// must be called from the owning cell's worker thread.
+class CodeCache {
+ public:
+  /// Returns the specialized stream for `origin`, rewriting it on first
+  /// request (this is the only allocating step of the tier-2 backend; the
+  /// warm path after tier-up never allocates).
+  const TranslatedFunc* tier_up(const TranslatedFunc* origin,
+                                const FuncProfile& profile);
+
+  /// Lookup without tiering; null when `origin` has not tiered up here.
+  const TranslatedFunc* lookup(const TranslatedFunc* origin) const;
+
+  /// Number of distinct origins specialized into this cache.
+  size_t size() const { return specialized_.size(); }
+
+  /// tier_up() calls that actually rewrote (cache misses).
+  uint64_t tier_ups() const { return tier_ups_; }
+
+  /// Provenance records, in tier-up order (disasm/introspection).
+  const std::deque<SpecializedFunc>& entries() const { return specialized_; }
+
+ private:
+  std::deque<SpecializedFunc> specialized_;  // deque: stable addresses
+  std::map<const TranslatedFunc*, const TranslatedFunc*> by_origin_;
+  uint64_t tier_ups_ = 0;
+};
+
+}  // namespace waran::wasm

@@ -1,5 +1,7 @@
-// Differential execution: the threaded (computed-goto) dispatcher and the
-// portable switch dispatcher are generated from the same interpreter core
+// Differential execution: the threaded (computed-goto) dispatcher, the
+// tier-2 specializing dispatcher (both tiered-up-from-the-first-call and
+// crossing the tier boundary mid-sweep), and the portable switch
+// dispatcher are generated from the same interpreter core
 // (wasm/interp_loop.inc), and this suite pins down that they stay
 // observably identical — results, trap codes and messages, fuel_used,
 // instrs_retired, and linear-memory contents — across a wcc program corpus,
@@ -80,24 +82,40 @@ Outcome run_one(wasm::Instance& inst, const char* fn,
   return o;
 }
 
-/// One module instantiated twice — switch oracle vs threaded hot path.
+/// One module instantiated four ways — switch oracle vs threaded hot path
+/// vs two tier-2 variants: threshold 1 (every call runs the specialized
+/// stream, rewritten from an empty profile) and threshold 2 (call #1 runs
+/// tier-1 under the specializing dispatcher and gathers branch bias, call
+/// #2 crosses the tier boundary mid-sweep, so the threshold crossing
+/// itself is inside the comparison).
 struct DiffPair {
   std::unique_ptr<wasm::Instance> oracle;    // Dispatch::kSwitch
   std::unique_ptr<wasm::Instance> threaded;  // Dispatch::kThreaded
+  std::unique_ptr<wasm::Instance> spec1;     // kSpecialized, threshold 1
+  std::unique_ptr<wasm::Instance> spec2;     // kSpecialized, threshold 2
 
-  /// Runs the call on both instances and asserts identical outcomes.
+  /// Runs the call on every instance and asserts identical outcomes.
   void expect_same(const char* fn, const std::vector<TypedValue>& args,
                    const CallOptions& opts = {}) {
-    Outcome a = run_one(*oracle, fn, args, opts);
-    Outcome b = run_one(*threaded, fn, args, opts);
-    EXPECT_EQ(a.ok, b.ok) << fn << ": " << a.message << " vs " << b.message;
-    EXPECT_EQ(a.error_code, b.error_code) << fn;
-    EXPECT_EQ(a.message, b.message) << fn;
-    EXPECT_EQ(a.has_value, b.has_value) << fn;
-    EXPECT_EQ(a.bits, b.bits) << fn;
-    EXPECT_EQ(a.fuel_used, b.fuel_used) << fn;
-    EXPECT_EQ(a.instrs, b.instrs) << fn;
-    EXPECT_EQ(a.mem_hash, b.mem_hash) << fn;
+    const Outcome a = run_one(*oracle, fn, args, opts);
+    const struct {
+      const char* name;
+      wasm::Instance* inst;
+    } others[] = {{"threaded", threaded.get()},
+                  {"specialized/1", spec1.get()},
+                  {"specialized/2", spec2.get()}};
+    for (const auto& [name, inst] : others) {
+      Outcome b = run_one(*inst, fn, args, opts);
+      EXPECT_EQ(a.ok, b.ok) << fn << " (" << name << "): " << a.message
+                            << " vs " << b.message;
+      EXPECT_EQ(a.error_code, b.error_code) << fn << " (" << name << ")";
+      EXPECT_EQ(a.message, b.message) << fn << " (" << name << ")";
+      EXPECT_EQ(a.has_value, b.has_value) << fn << " (" << name << ")";
+      EXPECT_EQ(a.bits, b.bits) << fn << " (" << name << ")";
+      EXPECT_EQ(a.fuel_used, b.fuel_used) << fn << " (" << name << ")";
+      EXPECT_EQ(a.instrs, b.instrs) << fn << " (" << name << ")";
+      EXPECT_EQ(a.mem_hash, b.mem_hash) << fn << " (" << name << ")";
+    }
   }
 };
 
@@ -114,8 +132,15 @@ Result<DiffPair> make_pair_from_bytes(std::span<const uint8_t> bytes,
   WARAN_TRY(sw, wasm::Instance::instantiate(shared, linker, opt));
   opt.dispatch = Dispatch::kThreaded;
   WARAN_TRY(th, wasm::Instance::instantiate(shared, linker, opt));
+  opt.dispatch = Dispatch::kSpecialized;
+  opt.tier_up_threshold = 1;
+  WARAN_TRY(s1, wasm::Instance::instantiate(shared, linker, opt));
+  opt.tier_up_threshold = 2;
+  WARAN_TRY(s2, wasm::Instance::instantiate(shared, linker, opt));
   pair.oracle = std::move(sw);
   pair.threaded = std::move(th);
+  pair.spec1 = std::move(s1);
+  pair.spec2 = std::move(s2);
   return pair;
 }
 
@@ -139,6 +164,8 @@ TEST(InterpDifferential, ThreadedDispatchIsAvailableWhereExpected) {
   auto pair = make_pair_wcc("export fn f() -> i32 { return 7; }");
   EXPECT_EQ(pair.oracle->dispatch(), Dispatch::kSwitch);
   EXPECT_EQ(pair.threaded->dispatch(), Dispatch::kThreaded);
+  EXPECT_EQ(pair.spec1->dispatch(), Dispatch::kSpecialized);
+  EXPECT_EQ(pair.spec2->dispatch(), Dispatch::kSpecialized);
 #else
   GTEST_SKIP() << "toolchain has no computed-goto dispatch";
 #endif
