@@ -6,6 +6,7 @@
 #include <cstring>
 #include <limits>
 
+#include "common/log.h"
 #include "obs/trace.h"
 #include "rt/clock.h"
 
@@ -72,6 +73,13 @@ I trunc_sat(F f) {
 
 }  // namespace
 
+Instance::~Instance() {
+  // Runs before member destruction, so cache_ is valid even when it points
+  // at owned_cache_. The last instance of a translation to release drops
+  // that translation's tier-2 entries from the (possibly shared) cache.
+  if (cache_ != nullptr) cache_->release_module(translated_.get());
+}
+
 Result<std::unique_ptr<Instance>> Instance::instantiate(
     std::shared_ptr<const Module> module, const Linker& linker,
     const InstanceOptions& options) {
@@ -101,6 +109,15 @@ Result<std::unique_ptr<Instance>> Instance::instantiate(
       if (want == "switch") d = Dispatch::kSwitch;
       else if (want == "threaded") d = Dispatch::kThreaded;
       else if (want == "specialized") d = Dispatch::kSpecialized;
+      else if (!want.empty()) {
+        // A typo ("specialised") must not silently exercise the wrong
+        // dispatcher while appearing to work.
+        WARAN_LOG(kWarn, "wasm",
+                  "unknown WARAN_DISPATCH value '"
+                      << want
+                      << "' (expected switch|threaded|specialized); "
+                         "using the default backend");
+      }
     }
   }
   if (d == Dispatch::kDefault) {
@@ -125,6 +142,10 @@ Result<std::unique_ptr<Instance>> Instance::instantiate(
       inst->owned_cache_ = std::make_unique<CodeCache>();
       inst->cache_ = inst->owned_cache_.get();
     }
+    // Keep the cache's keys for this translation alive and unique for this
+    // instance's whole lifetime; ~Instance releases, and the last release
+    // drops the translation's tier-2 entries (hot-swap hygiene).
+    inst->cache_->retain_module(inst->translated_.get());
   }
 
   // Resolve imports. WA-RAN hosts only expose functions; table/memory/global
@@ -317,14 +338,15 @@ Status Instance::push_frame(uint32_t func_index) {
     // Tier-up point. Runs on the calling thread (the cell's own worker
     // under rt), so the cache needs no locks. The rewrite below is the
     // only allocating step of the tier-2 backend; frames already running
-    // the tier-1 stream keep it — streams are never mutated, and the
-    // append-only cache keeps installed pointers stable — so a threshold
-    // crossing mid-recursion or under host re-entry is safe.
+    // the tier-1 stream keep it — streams are never mutated, and the cache
+    // keeps this module's installed pointers stable while any instance of
+    // it (us included) is alive — so a threshold crossing mid-recursion or
+    // under host re-entry is safe.
     FuncProfile& p = profile_[di];
     ++p.calls;
     tfp = active_[di];
     if (tfp == &translated_->funcs[di] && p.calls >= tier_up_threshold_) {
-      tfp = cache_->tier_up(tfp, p);
+      tfp = cache_->tier_up(translated_, tfp, p);
       active_[di] = tfp;
       ++tier_up_events_;
     }

@@ -112,6 +112,10 @@ class Instance {
       std::shared_ptr<const Module> module, const Linker& linker,
       const InstanceOptions& options = {});
 
+  /// Releases this instance's module reference on its code cache (tier-2
+  /// entries of a module are dropped when its last instance goes away).
+  ~Instance();
+
   // -- Calls ---------------------------------------------------------------
 
   /// Calls an exported function by name with type-checked arguments under
@@ -163,6 +167,14 @@ class Instance {
 
   /// The code cache this instance tiers into (null unless kSpecialized).
   const CodeCache* code_cache() const { return cache_; }
+
+  /// The translated micro-op module this instance executes — the module's
+  /// shared translation, or a private lowering when the embedder skipped
+  /// translate_module(). This is what the instance retains against its
+  /// code cache.
+  const std::shared_ptr<const TranslatedModule>& translation() const {
+    return translated_;
+  }
 
   /// The stream the next call of defined function `defined_index` will
   /// execute (tier-1 until the threshold crossing). Introspection only.
@@ -236,7 +248,8 @@ class Instance {
   // threshold, the cache's specialized stream afterwards. Tier-up runs
   // synchronously inside push_frame on the calling (cell worker) thread;
   // in-flight frames keep their old stream pointer, which stays valid
-  // because streams are never mutated and the cache is append-only.
+  // because streams are never mutated and the cache pins this module's
+  // entries while the instance lives (retain_module/release_module).
   CodeCache* cache_ = nullptr;
   std::unique_ptr<CodeCache> owned_cache_;
   std::vector<FuncProfile> profile_;           // per defined function

@@ -238,13 +238,15 @@ TranslatedFunc specialize(const TranslatedFunc& tf, const FuncProfile& profile) 
   return out;
 }
 
-const TranslatedFunc* CodeCache::tier_up(const TranslatedFunc* origin,
-                                         const FuncProfile& profile) {
+const TranslatedFunc* CodeCache::tier_up(
+    const std::shared_ptr<const TranslatedModule>& origin_module,
+    const TranslatedFunc* origin, const FuncProfile& profile) {
   auto it = by_origin_.find(origin);
   if (it != by_origin_.end()) return it->second;
   SpecializedFunc sf;
   sf.func = specialize(*origin, profile);
   sf.origin = origin;
+  sf.origin_module = origin_module;
   sf.uops_before = static_cast<uint32_t>(origin->ops.size());
   sf.uops_after = static_cast<uint32_t>(sf.func.ops.size());
   specialized_.push_back(std::move(sf));
@@ -257,6 +259,28 @@ const TranslatedFunc* CodeCache::tier_up(const TranslatedFunc* origin,
 const TranslatedFunc* CodeCache::lookup(const TranslatedFunc* origin) const {
   auto it = by_origin_.find(origin);
   return it == by_origin_.end() ? nullptr : it->second;
+}
+
+void CodeCache::retain_module(const TranslatedModule* module) {
+  ++module_refs_[module];
+}
+
+void CodeCache::release_module(const TranslatedModule* module) {
+  auto rit = module_refs_.find(module);
+  if (rit == module_refs_.end()) return;
+  if (--rit->second > 0) return;
+  module_refs_.erase(rit);
+  // Last instance of this module is gone: no live frame can reference its
+  // streams any more, so drop its entries (and with them the retaining
+  // shared_ptrs — this may free the module's tier-1 streams too).
+  for (auto it = specialized_.begin(); it != specialized_.end();) {
+    if (it->origin_module.get() == module) {
+      by_origin_.erase(it->origin);
+      it = specialized_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 }  // namespace waran::wasm

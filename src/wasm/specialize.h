@@ -20,12 +20,25 @@
 // cell's engines to one CellExecutor worker, tier-up runs synchronously on
 // that worker inside push_frame, and the cache is only ever touched from
 // that thread — per-cell ownership needs no locks. Streams are stored in a
-// deque so installed pointers stay stable while later tier-ups append.
+// list so installed pointers stay stable while later tier-ups append and
+// other modules' entries are dropped.
+//
+// Lifecycle contract: entries are keyed by the tier-1 stream's address, so
+// a key must never dangle and an address must never be reused while its
+// entry lives. Both are guaranteed by retention + refcounting: every entry
+// holds a shared_ptr to its origin TranslatedModule (a hot-swapped module's
+// streams stay alive — and its addresses stay unique — for as long as the
+// cache still maps them), and every kSpecialized instance retains its
+// module against the cache for its own lifetime. When the last instance of
+// a module releases, that module's entries are dropped, so a long-lived
+// per-cell cache stays bounded by the modules actually running, not by the
+// history of hot swaps.
 #pragma once
 
 #include <cstdint>
-#include <deque>
+#include <list>
 #include <map>
+#include <memory>
 
 #include "wasm/translate.h"
 
@@ -42,10 +55,14 @@ struct FuncProfile {
   uint64_t cond_taken = 0;  ///< ... of which took the jump
 };
 
-/// A specialized stream plus provenance for introspection/disasm.
+/// A specialized stream plus provenance for introspection/disasm. The
+/// retained origin module keeps `origin` (and every other key of the same
+/// module) alive and address-unique for as long as the entry exists, even
+/// after the plugin that tiered it up was hot-swapped away.
 struct SpecializedFunc {
   TranslatedFunc func;
   const TranslatedFunc* origin = nullptr;
+  std::shared_ptr<const TranslatedModule> origin_module;
   uint32_t uops_before = 0;
   uint32_t uops_after = 0;
 };
@@ -56,33 +73,46 @@ struct SpecializedFunc {
 /// bias >= 1/2); it never affects semantics.
 TranslatedFunc specialize(const TranslatedFunc& tf, const FuncProfile& profile);
 
-/// Per-cell store of specialized streams. Append-only, keyed by the tier-1
-/// stream's address (module translations are shared, so instances of one
-/// module sharing a cache also share each specialized stream). All methods
-/// must be called from the owning cell's worker thread.
+/// Per-cell store of specialized streams, keyed by the tier-1 stream's
+/// address (module translations are shared, so instances of one module
+/// sharing a cache also share each specialized stream). All methods must be
+/// called from the owning cell's worker thread.
 class CodeCache {
  public:
-  /// Returns the specialized stream for `origin`, rewriting it on first
-  /// request (this is the only allocating step of the tier-2 backend; the
-  /// warm path after tier-up never allocates).
-  const TranslatedFunc* tier_up(const TranslatedFunc* origin,
-                                const FuncProfile& profile);
+  /// Returns the specialized stream for `origin` — a function of
+  /// `origin_module` — rewriting it on first request (this is the only
+  /// allocating step of the tier-2 backend; the warm path after tier-up
+  /// never allocates). The entry retains `origin_module`, so the key stays
+  /// valid and unique for the entry's whole lifetime.
+  const TranslatedFunc* tier_up(
+      const std::shared_ptr<const TranslatedModule>& origin_module,
+      const TranslatedFunc* origin, const FuncProfile& profile);
 
   /// Lookup without tiering; null when `origin` has not tiered up here.
   const TranslatedFunc* lookup(const TranslatedFunc* origin) const;
 
-  /// Number of distinct origins specialized into this cache.
+  /// Instance-lifetime refcount per origin module. Every kSpecialized
+  /// instance retains its translation at instantiation and releases it on
+  /// destruction; when the count reaches zero — the module was hot-swapped
+  /// away or removed and no frame can still reference its streams — the
+  /// module's entries are dropped, bounding the cache across swaps.
+  void retain_module(const TranslatedModule* module);
+  void release_module(const TranslatedModule* module);
+
+  /// Number of distinct origins currently specialized into this cache.
   size_t size() const { return specialized_.size(); }
 
-  /// tier_up() calls that actually rewrote (cache misses).
+  /// tier_up() calls that actually rewrote (cache misses). Monotonic: not
+  /// decremented when a module's entries are dropped.
   uint64_t tier_ups() const { return tier_ups_; }
 
   /// Provenance records, in tier-up order (disasm/introspection).
-  const std::deque<SpecializedFunc>& entries() const { return specialized_; }
+  const std::list<SpecializedFunc>& entries() const { return specialized_; }
 
  private:
-  std::deque<SpecializedFunc> specialized_;  // deque: stable addresses
+  std::list<SpecializedFunc> specialized_;  // list: stable addresses, O(1) drop
   std::map<const TranslatedFunc*, const TranslatedFunc*> by_origin_;
+  std::map<const TranslatedModule*, uint32_t> module_refs_;
   uint64_t tier_ups_ = 0;
 };
 

@@ -209,6 +209,93 @@ TEST(TierUp, SharedCodeCacheDedupesAcrossInstancesOfOneModule) {
   EXPECT_EQ((*a)->active_stream(0), (*b)->active_stream(0));
 }
 
+TEST(TierUp, SharedCacheEntriesSurviveUntilLastInstanceReleases) {
+  // The cache lifecycle contract: entries are keyed by tier-1 stream
+  // address, so a key must stay alive (the entry retains the translation)
+  // and entries must only drop once no instance of the module remains.
+  auto bytes = branchy_module().build();
+  auto decoded = wasm::decode_module(bytes);
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_TRUE(wasm::validate_module(*decoded).ok());
+  ASSERT_TRUE(wasm::translate_module(*decoded).ok());
+  auto module = std::make_shared<const wasm::Module>(std::move(*decoded));
+  const wasm::TranslatedModule* tm = module->translated.get();
+
+  wasm::CodeCache cache;
+  InstanceOptions opt = specialized(1);
+  opt.code_cache = &cache;
+  auto a = wasm::Instance::instantiate(module, {}, opt);
+  auto b = wasm::Instance::instantiate(module, {}, opt);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  std::vector<TypedValue> arg = {{ValType::kI32, wasm::Value::from_i32(21)}};
+  const int32_t expected = call_i32(**a, "sum", arg);
+  ASSERT_EQ(cache.size(), 1u);
+
+  // First instance dies: the second still runs the shared entry.
+  (*a).reset();
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(call_i32(**b, "sum", arg), expected);
+
+  // Even with every external module ref dropped, the entry retains the
+  // translation, so its key can neither dangle nor be address-reused.
+  module.reset();
+  EXPECT_EQ(cache.lookup(&tm->funcs[0]), (*b)->active_stream(0));
+
+  // Last instance dies: the module's entries go with it.
+  (*b).reset();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.tier_ups(), 1u);  // monotonic miss count survives the drop
+}
+
+// --- Hot swap against a live cell cache -------------------------------------
+
+/// Minimal Plugin-ABI module (() -> i32 returning 0) with pairs the
+/// specializer fuses; `salt` just makes each build a distinct module.
+wasmtest::ModuleBuilder swap_plugin_module(int32_t salt) {
+  wasmtest::ModuleBuilder mb;
+  mb.add_memory(1);
+  wasmtest::FunctionBuilder& f =
+      mb.add_func(wasm::FuncType{{}, {ValType::kI32}}, "run");
+  uint32_t t = f.add_local(ValType::kI32);
+  f.i32_const(salt)
+      .i32_const(salt)
+      .op(wasm::Op::kI32Sub)
+      .local_set(t)
+      .local_get(t)
+      .end();
+  return mb;
+}
+
+TEST(TierUp, HotSwapDropsOldModuleCacheEntries) {
+  // A manager-owned cell cache outlives hot swaps. Swapping a slot destroys
+  // the old plugin, so the old module's entries must leave the cache — a
+  // later module whose streams land at a recycled address must never alias
+  // them — and the replacement must genuinely re-tier.
+  plugin::PluginManager mgr;
+  mgr.enable_tier2(1);
+  const wasm::CodeCache* cache = mgr.code_cache();
+  ASSERT_NE(cache, nullptr);
+
+  auto a = swap_plugin_module(3).build();
+  const Status ins = mgr.install("sched", a);
+  ASSERT_TRUE(ins.ok()) << ins.error().message;
+  const auto call1 = mgr.call("sched", "run", {});
+  ASSERT_TRUE(call1.ok()) << call1.error().message;
+  EXPECT_EQ(cache->size(), 1u);
+  EXPECT_EQ(cache->tier_ups(), 1u);
+
+  auto b = swap_plugin_module(7).build();
+  ASSERT_TRUE(mgr.swap("sched", b).ok());
+  EXPECT_EQ(cache->size(), 0u);
+  ASSERT_TRUE(mgr.call("sched", "run", {}).ok());
+  EXPECT_EQ(cache->size(), 1u);
+  EXPECT_EQ(cache->tier_ups(), 2u);
+
+  ASSERT_TRUE(mgr.remove("sched").ok());
+  EXPECT_EQ(cache->size(), 0u);
+}
+
 // --- Backend selection ------------------------------------------------------
 
 TEST(TierUp, EnvKnobSelectsBackendButExplicitPinWins) {
