@@ -1,26 +1,37 @@
 #!/usr/bin/env bash
 # Clock-injection lint: everything above the runtime layer must read time
-# through waran::rt::Clock (src/rt/clock.h), never std::chrono clocks
-# directly. Direct clock reads break virtual-time campaigns — they pin code
-# to wall time, so deterministic faster-than-real-time runs silently go
-# nondeterministic. Only the rt layer itself (which wraps the real clock)
-# and src/common (below rt in the layer stack) may call the raw clocks.
+# through waran::rt::Clock (src/rt/clock.h), never std::chrono clocks or the
+# POSIX clock syscalls directly. Direct clock reads break virtual-time
+# campaigns — they pin code to wall time, so deterministic
+# faster-than-real-time runs silently go nondeterministic. Only the rt layer
+# itself (which wraps the real clock) and src/common (below rt in the layer
+# stack) may call the raw clocks.
 #
 # Run from the repo root. Exits non-zero listing every offending line.
 set -u
 
 cd "$(dirname "$0")/.."
 
-pattern='(steady_clock|system_clock|high_resolution_clock)::now'
+# Every scanned tree must exist: a renamed directory silently dropping out
+# of the scan is exactly the kind of coverage rot this lint exists to stop.
+scan_dirs=(src tests tools bench examples)
+for d in "${scan_dirs[@]}"; do
+  if [ ! -d "$d" ]; then
+    echo "clock lint: expected directory '$d' missing — update scan_dirs" >&2
+    exit 2
+  fi
+done
+
+pattern='(steady_clock|system_clock|high_resolution_clock)::now|(clock_gettime|gettimeofday)\s*\('
 
 hits=$(grep -rEn "$pattern" \
   --include='*.cpp' --include='*.h' --include='*.inc' \
-  src tests tools bench examples 2>/dev/null |
+  "${scan_dirs[@]}" |
   grep -v '^src/rt/' |
   grep -v '^src/common/')
 
 if [ -n "$hits" ]; then
-  echo "clock lint: raw std::chrono clock reads outside src/rt/ and src/common/:" >&2
+  echo "clock lint: raw clock reads outside src/rt/ and src/common/:" >&2
   echo "$hits" >&2
   echo "use waran::rt::now_ns() (src/rt/clock.h) instead." >&2
   exit 1

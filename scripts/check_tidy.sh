@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# clang-tidy gate over src/ (config: .clang-tidy at the repo root).
+#
+# Usage: ./scripts/check_tidy.sh [build-dir]
+#
+# Needs a build directory configured with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+# (defaults to ./build). Runs clang-tidy on every .cpp under src/ against
+# that compilation database and fails on any finding (.clang-tidy sets
+# WarningsAsErrors: '*'). Containers without clang-tidy skip with a notice
+# rather than fail — the CI `tidy` job installs it and is the actual gate.
+set -u
+
+cd "$(dirname "$0")/.."
+
+TIDY="${CLANG_TIDY:-}"
+if [ -z "$TIDY" ]; then
+  for cand in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16 \
+              clang-tidy-15 clang-tidy-14; do
+    if command -v "$cand" >/dev/null 2>&1; then
+      TIDY="$cand"
+      break
+    fi
+  done
+fi
+if [ -z "$TIDY" ]; then
+  echo "tidy: clang-tidy not found; skipping (CI runs the real gate)" >&2
+  exit 0
+fi
+
+BUILD_DIR="${1:-build}"
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "tidy: $BUILD_DIR/compile_commands.json missing." >&2
+  echo "configure with: cmake -B $BUILD_DIR -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON" >&2
+  exit 1
+fi
+
+mapfile -t sources < <(find src -name '*.cpp' | sort)
+echo "tidy: $TIDY over ${#sources[@]} files (db: $BUILD_DIR)"
+
+fail=0
+for f in "${sources[@]}"; do
+  if ! "$TIDY" -p "$BUILD_DIR" --quiet "$f"; then
+    fail=1
+  fi
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "tidy: findings above must be fixed or NOLINT'ed with a reason." >&2
+  exit 1
+fi
+echo "tidy: OK"

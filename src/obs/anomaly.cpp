@@ -16,6 +16,7 @@ const char* to_string(AnomalyKind kind) {
     case AnomalyKind::kSlotOverrun: return "slot_overrun";
     case AnomalyKind::kLoadFailed: return "load_failed";
     case AnomalyKind::kSloBreach: return "slo_breach";
+    case AnomalyKind::kAdmissionReject: return "admission_reject";
     case AnomalyKind::kOther: return "other";
   }
   return "other";

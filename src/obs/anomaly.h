@@ -33,6 +33,7 @@ enum class AnomalyKind : uint8_t {
   kSlotOverrun,     ///< MAC slot processing exceeded the slot duration
   kLoadFailed,      ///< plugin install/swap refused (broken or injected)
   kSloBreach,       ///< declarative service-level objective violated (slo.h)
+  kAdmissionReject, ///< static bounds exceed the slot budget (analysis)
   kOther,
 };
 

@@ -46,7 +46,37 @@ Result<std::shared_ptr<Plugin>> PluginManager::load_checked(
                                          slot, loaded.error().message);
     return loaded.error();
   }
-  return std::shared_ptr<Plugin>(std::move(*loaded));
+  auto plugin = std::shared_ptr<Plugin>(std::move(*loaded));
+  if (default_limits_.admission == analysis::AdmissionMode::kOff) {
+    last_admission_.reset();
+    return plugin;
+  }
+  // Admission-time static analysis: verify the translated streams and check
+  // every export's static fuel/frame bounds against the slot budget. The
+  // module is fully built but has never run — a rejection here is exactly
+  // "refused before first call".
+  wasm::Instance& inst = plugin->instance();
+  analysis::AdmissionLimits budget;
+  budget.fuel_per_call = default_limits_.fuel_per_call;
+  budget.max_call_depth = inst.max_call_depth();
+  last_admission_ = analysis::admit(inst.module(), *inst.translation(), budget);
+  if (!last_admission_->admitted) {
+    const std::string reason = last_admission_->reject_reason();
+    if (default_limits_.admission == analysis::AdmissionMode::kEnforce) {
+      obs::AnomalyJournal::global().record(obs::AnomalyKind::kAdmissionReject,
+                                           domain_, slot, reason);
+      obs::MetricsRegistry::global()
+          .counter("waran_plugin_admission_rejects_total",
+                   {{"domain", domain_}, {"slot", slot}})
+          .add();
+      WARAN_LOG(kWarn, "plugin",
+                "admission rejected slot '" << slot << "': " << reason);
+      return Error::limit_exceeded("admission rejected: " + reason);
+    }
+    WARAN_LOG(kWarn, "plugin", "admission would reject slot '"
+                                   << slot << "' (warn mode): " << reason);
+  }
+  return plugin;
 }
 
 Status PluginManager::install(const std::string& slot,
@@ -58,6 +88,7 @@ Status PluginManager::install(const std::string& slot,
   WARAN_TRY(p, load_checked(slot, module_bytes, extra_host));
   Slot s;
   s.plugin = std::move(p);
+  s.admission = last_admission_;
   bind_metrics(slot, s);
   slots_.emplace(slot, std::move(s));
   WARAN_LOG(kInfo, "plugin", "installed slot '" << slot << "'");
@@ -72,6 +103,7 @@ Status PluginManager::swap(const std::string& slot,
   // Build the replacement completely before touching the live slot.
   WARAN_TRY(p, load_checked(slot, module_bytes, extra_host));
   it->second.plugin = std::move(p);
+  it->second.admission = last_admission_;
   it->second.health.quarantined = false;
   it->second.health.consecutive_faults = 0;
   it->second.tier_ups_seen = 0;  // fresh instance, fresh monotonic count
@@ -181,6 +213,13 @@ std::vector<std::string> PluginManager::slot_names() const {
 const SlotHealth* PluginManager::health(const std::string& slot) const {
   auto it = slots_.find(slot);
   return it == slots_.end() ? nullptr : &it->second.health;
+}
+
+const analysis::AdmissionReport* PluginManager::admission_report(
+    const std::string& slot) const {
+  auto it = slots_.find(slot);
+  if (it == slots_.end() || !it->second.admission) return nullptr;
+  return &*it->second.admission;
 }
 
 const CallCostAcc* PluginManager::cost(const std::string& slot) const {

@@ -58,6 +58,27 @@ class PluginManager {
   /// The manager-owned tier-2 code cache; null until enable_tier2().
   const wasm::CodeCache* code_cache() const { return code_cache_.get(); }
 
+  /// Switches every *future* install/swap to admission-time static
+  /// analysis (analysis/analysis.h): the plugin's translated streams are
+  /// verified and every export's static fuel/frame bounds are checked
+  /// against the slot budget (fuel_per_call + the engine call-depth limit)
+  /// before the slot ever runs. kEnforce makes install/swap fail with
+  /// kLimitExceeded — one kAdmissionReject anomaly, zero calls; kWarn only
+  /// keeps the report.
+  void set_admission(analysis::AdmissionMode mode) {
+    default_limits_.admission = mode;
+  }
+
+  /// Admission report of the plugin currently in `slot` (null when the
+  /// slot does not exist or was installed with admission off).
+  const analysis::AdmissionReport* admission_report(const std::string& slot) const;
+
+  /// Report from the most recent install/swap that ran admission analysis —
+  /// including one that was *rejected* and therefore owns no slot.
+  const analysis::AdmissionReport* last_admission_report() const {
+    return last_admission_ ? &*last_admission_ : nullptr;
+  }
+
   /// Observability domain this manager reports under ("mac", "gnb0",
   /// "ric"): the `domain` label on every per-slot metric and the journal
   /// domain for anomalies. Set before installing plugins; slots installed
@@ -138,6 +159,8 @@ class PluginManager {
     std::shared_ptr<Plugin> plugin;
     SlotHealth health;
     CallCostAcc cost;
+    /// Set when admission analysis ran for the installed plugin.
+    std::optional<analysis::AdmissionReport> admission;
     // Registry handles, resolved once at install so the per-call feed is a
     // few relaxed atomic adds (the canonical CallStats -> telemetry path).
     obs::Counter* m_calls = nullptr;
@@ -166,6 +189,9 @@ class PluginManager {
   std::map<std::string, Slot> slots_;
   CallInterceptor call_interceptor_;
   LoadInterceptor load_interceptor_;
+  /// Most recent admission analysis (load_checked fills it; install/swap
+  /// copy it into the slot on success, rejected loads leave it here).
+  std::optional<analysis::AdmissionReport> last_admission_;
 };
 
 }  // namespace waran::plugin

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/analysis.h"
 #include "common/result.h"
 #include "wasm/wasm.h"
 
@@ -43,6 +44,11 @@ struct PluginLimits {
   wasm::CodeCache* code_cache = nullptr;
   /// Calls before a function tiers up (kSpecialized only; 0 behaves as 1).
   uint32_t tier_up_threshold = 32;
+  /// Admission-time static analysis (analysis/analysis.h): PluginManager
+  /// verifies the translated streams and checks every export's static
+  /// fuel/frame bounds against this slot budget before the first call.
+  /// kEnforce refuses plugins that *must* exceed it; kWarn only reports.
+  analysis::AdmissionMode admission = analysis::AdmissionMode::kOff;
 };
 
 /// Lifetime call statistics, exposed for the evaluation harness.

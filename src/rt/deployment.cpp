@@ -65,7 +65,12 @@ GnbDeployment::GnbDeployment(DeploymentConfig config) : config_(std::move(config
     cell->quotas = quotas.get();
     cell->mac->set_inter_scheduler(std::move(quotas));
 
-    cell->sched_plugins = std::make_unique<plugin::PluginManager>();
+    plugin::PluginLimits sched_limits;
+    if (config_.sched_fuel_per_call > 0) {
+      sched_limits.fuel_per_call = config_.sched_fuel_per_call;
+    }
+    sched_limits.admission = config_.admission;
+    cell->sched_plugins = std::make_unique<plugin::PluginManager>(sched_limits);
     cell->sched_plugins->set_domain(mc.domain);
     // Before install(): dispatch/cache are captured at plugin load time.
     if (config_.tier_up_threshold > 0) {

@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/analysis.h"
 #include "common/result.h"
 #include "obs/fleet.h"
 #include "obs/flight.h"
@@ -102,6 +103,15 @@ struct DeploymentConfig {
   /// tier-1. Tier-up is call-count driven, so virtual-time runs stay
   /// bit-identical with tiering on.
   uint32_t tier_up_threshold = 0;
+  /// Admission-time static analysis for the per-cell scheduler plugins
+  /// (analysis/analysis.h): verify translated streams and check each
+  /// export's static fuel/frame bounds against the slot budget at
+  /// install/swap. kEnforce makes construction fail (status()) on an
+  /// over-budget scheduler — one kAdmissionReject anomaly, zero calls.
+  analysis::AdmissionMode admission = analysis::AdmissionMode::kOff;
+  /// Per-call fuel budget for scheduler plugins; 0 keeps the PluginLimits
+  /// default. Admission (when enabled) checks static min-fuel against it.
+  uint64_t sched_fuel_per_call = 0;
   /// MAC template; cell, domain and error_seed are overridden per cell.
   ran::MacConfig mac;
   std::vector<SliceSpec> slices = default_mvno_slices();

@@ -346,7 +346,19 @@ Status Instance::push_frame(uint32_t func_index) {
     ++p.calls;
     tfp = active_[di];
     if (tfp == &translated_->funcs[di] && p.calls >= tier_up_threshold_) {
-      tfp = cache_->tier_up(translated_, tfp, p);
+      const TranslatedFunc* t2 = cache_->tier_up(translated_, tfp, p);
+      if (t2 != tfp) {
+        if (StreamFirewall fw = stream_firewall()) {
+          // Miscompile firewall (debug/fuzz builds): a tier-2 rewrite that
+          // breaks a stream invariant fails here, at the swap, instead of
+          // diverging later under the differential oracle.
+          if (Status st = fw(*module_, *t2); !st.ok()) {
+            return Error::internal("stream firewall rejected tier-2 rewrite of defined func " +
+                                   std::to_string(di) + ": " + st.error().message);
+          }
+        }
+      }
+      tfp = t2;
       active_[di] = tfp;
       ++tier_up_events_;
     }

@@ -156,6 +156,10 @@ class Instance {
   const Module& module() const { return *module_; }
   void* user_data() const { return user_data_; }
 
+  /// Frame-depth limit enforced by push_frame (admission analysis checks
+  /// static frame needs against this).
+  uint32_t max_call_depth() const { return max_call_depth_; }
+
   /// The dispatch strategy actually in use (kDefault resolved).
   Dispatch dispatch() const { return dispatch_; }
 

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/analysis.h"
 #include "common/rng.h"
 #include "sched/plugins.h"
 #include "tests/wasm_test_util.h"
@@ -446,13 +447,216 @@ TEST(InterpDifferential, FuelBoundariesMatch) {
   EXPECT_EQ(starved.error_code, static_cast<int>(Error::Code::kFuelExhausted));
 }
 
+/// Stubs every function import with a zero-returning host of the right
+/// signature so mutants (and pristine plugins) exercise the interpreter,
+/// not the plugin ABI.
+wasm::Linker stub_linker(const wasm::Module& m) {
+  wasm::Linker linker;
+  for (const auto& imp : m.imports) {
+    if (imp.kind != wasm::ImportKind::kFunc) continue;
+    const FuncType& ft = m.types[imp.type_index];
+    const bool has_result = !ft.results.empty();
+    linker.register_func(
+        imp.module, imp.name,
+        wasm::HostFunc{ft, [has_result](wasm::HostContext&,
+                                        std::span<const wasm::Value>)
+                               -> Result<std::optional<wasm::Value>> {
+          if (has_result) return std::optional<wasm::Value>(wasm::Value{});
+          return std::optional<wasm::Value>{};
+        }});
+  }
+  return linker;
+}
+
+TEST(InterpDifferential, VerifierAcceptsTierStreams) {
+  // With the stream firewall installed, every lowering (translate) and every
+  // tier-2 rewrite (tier-up swap) self-checks against the verifier; this
+  // test then re-verifies each instance's active streams explicitly after
+  // forcing the tier boundary, so both tiers of every scheduler are covered.
+  analysis::install_stream_firewall();
+  for (const char* kind : {"rr", "pf", "mt"}) {
+    auto bytes = sched::plugins::scheduler(kind);
+    ASSERT_TRUE(bytes.ok()) << kind;
+    auto decoded = wasm::decode_module(*bytes);
+    ASSERT_TRUE(decoded.ok()) << kind;
+    ASSERT_TRUE(wasm::validate_module(*decoded).ok()) << kind;
+    ASSERT_TRUE(wasm::translate_module(*decoded).ok()) << kind;
+    EXPECT_TRUE(analysis::verify_module(*decoded, *decoded->translated).ok())
+        << kind;
+
+    auto pair = make_pair_from_bytes(*bytes, stub_linker(*decoded));
+    ASSERT_TRUE(pair.ok()) << (pair.ok() ? "" : pair.error().message);
+    CallOptions opts;
+    opts.fuel = 200'000;
+    // Two calls: spec2 crosses the tier boundary on the second one, so the
+    // firewall sees the rewrite happen on both instances.
+    for (int i = 0; i < 2; ++i) {
+      run_one(*pair->spec1, "schedule", {}, opts);
+      run_one(*pair->spec2, "schedule", {}, opts);
+    }
+    EXPECT_GT(pair->spec1->tier_up_events(), 0u) << kind;
+    EXPECT_GT(pair->spec2->tier_up_events(), 0u) << kind;
+
+    for (wasm::Instance* inst : {pair->spec1.get(), pair->spec2.get()}) {
+      const size_t n = inst->translation()->funcs.size();
+      for (uint32_t di = 0; di < n; ++di) {
+        Status st = analysis::verify_func(inst->module(),
+                                          *inst->active_stream(di));
+        EXPECT_TRUE(st.ok())
+            << kind << " func " << di << ": " << st.error().message;
+      }
+    }
+  }
+}
+
+TEST(InterpDifferential, CorruptedStreamsAreRejected) {
+  // Deterministic corruptions of uop immediates, each guaranteed to break a
+  // stream invariant (arbitrary bit flips can land on another legal stream,
+  // e.g. in kConst payload bits — those are the mutants above). Applied to
+  // the tier-1 stream of every scheduler function and to every tier-2
+  // rewrite after forcing tier-up.
+  using wasm::TranslatedFunc;
+  using wasm::UOp;
+
+  auto zero_charge = [](TranslatedFunc& tf) {
+    // Op 0 is always charge-leading (else entry-charge would fire), so
+    // zeroing its charge field trips zero-charge.
+    switch (tf.ops[0].op) {
+      case UOp::kSeg:
+        tf.ops[0].b = 0;
+        return true;
+      case UOp::kSegLocalGet:
+      case UOp::kSegLocalMove:
+      case UOp::kSegLCAddSetI32:
+        tf.ops[0].imm.pair.y = 0;
+        return true;
+      default:
+        return false;
+    }
+  };
+  auto is_branch = [](UOp op) {
+    return op == UOp::kJump || op == UOp::kJumpZ || op == UOp::kJumpNZ ||
+           op == UOp::kBr || op == UOp::kBrIf;
+  };
+  auto first_branch = [&](const TranslatedFunc& tf) -> int64_t {
+    for (size_t i = 0; i < tf.ops.size(); ++i) {
+      if (is_branch(tf.ops[i].op)) return static_cast<int64_t>(i);
+    }
+    return -1;
+  };
+  auto first_local_op = [](const TranslatedFunc& tf) -> int64_t {
+    for (size_t i = 0; i < tf.ops.size(); ++i) {
+      const UOp op = tf.ops[i].op;
+      if (op == UOp::kLocalGet || op == UOp::kLocalSet ||
+          op == UOp::kLocalTee || op == UOp::kSegLocalGet) {
+        return static_cast<int64_t>(i);
+      }
+    }
+    return -1;
+  };
+
+  auto expect_rejected = [](const wasm::Module& m, const TranslatedFunc& tf,
+                            const char* what) {
+    Status st = analysis::verify_func(m, tf);
+    EXPECT_FALSE(st.ok()) << what << ": corrupted stream passed the verifier";
+  };
+
+  int corruptions = 0;
+  auto corrupt_all_ways = [&](const wasm::Module& m, const TranslatedFunc& base,
+                              const std::string& tag) {
+    {  // bad-opcode: op value outside the dispatch table
+      TranslatedFunc tf = base;
+      tf.ops[0].op = static_cast<UOp>(wasm::kNumUOps);
+      expect_rejected(m, tf, (tag + "/bad-opcode").c_str());
+      ++corruptions;
+    }
+    {  // entry-charge: first op no longer charges its segment
+      TranslatedFunc tf = base;
+      tf.ops[0] = wasm::UInstr{};
+      tf.ops[0].op = UOp::kDrop;
+      expect_rejected(m, tf, (tag + "/entry-charge").c_str());
+      ++corruptions;
+    }
+    {  // fall-off-end: last op falls through past the stream
+      TranslatedFunc tf = base;
+      wasm::UInstr seg{};
+      seg.op = UOp::kSeg;
+      seg.b = 1;
+      tf.ops.back() = seg;
+      expect_rejected(m, tf, (tag + "/fall-off-end").c_str());
+      ++corruptions;
+    }
+    {  // zero-charge: op 0 charges nothing
+      TranslatedFunc tf = base;
+      if (zero_charge(tf)) {
+        expect_rejected(m, tf, (tag + "/zero-charge").c_str());
+        ++corruptions;
+      }
+    }
+    if (int64_t i = first_branch(base); i >= 0) {
+      {  // target-range: branch off the end of the stream
+        TranslatedFunc tf = base;
+        tf.ops[static_cast<size_t>(i)].b =
+            static_cast<uint32_t>(tf.ops.size()) + 1000;
+        expect_rejected(m, tf, (tag + "/target-range").c_str());
+        ++corruptions;
+      }
+      {  // double-charge: taken edge lands on the charge-leading op 0
+        TranslatedFunc tf = base;
+        tf.ops[static_cast<size_t>(i)].b = 0;
+        expect_rejected(m, tf, (tag + "/double-charge").c_str());
+        ++corruptions;
+      }
+    }
+    if (int64_t i = first_local_op(base); i >= 0) {
+      // index-range: local slot far outside the frame
+      TranslatedFunc tf = base;
+      tf.ops[static_cast<size_t>(i)].b = 0xFFFE;
+      expect_rejected(m, tf, (tag + "/index-range").c_str());
+      ++corruptions;
+    }
+  };
+
+  for (const char* kind : {"rr", "pf", "mt"}) {
+    auto bytes = sched::plugins::scheduler(kind);
+    ASSERT_TRUE(bytes.ok()) << kind;
+    auto decoded = wasm::decode_module(*bytes);
+    ASSERT_TRUE(decoded.ok());
+    ASSERT_TRUE(wasm::validate_module(*decoded).ok());
+    ASSERT_TRUE(wasm::translate_module(*decoded).ok());
+
+    // Tier-1 streams.
+    for (size_t fi = 0; fi < decoded->translated->funcs.size(); ++fi) {
+      corrupt_all_ways(*decoded, decoded->translated->funcs[fi],
+                       std::string(kind) + "/t1/f" + std::to_string(fi));
+    }
+
+    // Tier-2 streams: force tier-up, then corrupt each active stream.
+    auto pair = make_pair_from_bytes(*bytes, stub_linker(*decoded));
+    ASSERT_TRUE(pair.ok());
+    CallOptions opts;
+    opts.fuel = 200'000;
+    run_one(*pair->spec1, "schedule", {}, opts);
+    ASSERT_GT(pair->spec1->tier_up_events(), 0u) << kind;
+    const size_t n = pair->spec1->translation()->funcs.size();
+    for (uint32_t di = 0; di < n; ++di) {
+      corrupt_all_ways(pair->spec1->module(), *pair->spec1->active_stream(di),
+                       std::string(kind) + "/t2/f" + std::to_string(di));
+    }
+  }
+  // The battery must have actually fired across the corpus.
+  EXPECT_GE(corruptions, 50);
+}
+
 TEST(InterpDifferential, ValidatedMutantsMatch) {
   // Random mutants (1-3 byte edits) of every real scheduler plugin that
   // still pass validation: run each through both dispatchers under a
   // stubbed host ABI and a tight fuel budget, and require identical
   // observable behavior — the differential analogue of
   // Fuzz.ValidatedMutantsAreSafeToRun, widened across the plugin corpus
-  // and deeper corruption.
+  // and deeper corruption. The stream firewall stays installed so tier-up
+  // rewrites are also verified in-line.
+  analysis::install_stream_firewall();
   int kind_index = 0;
   for (const char* kind : {"rr", "pf", "mt"}) {
     auto seed_module = sched::plugins::scheduler(kind);
@@ -471,29 +675,35 @@ TEST(InterpDifferential, ValidatedMutantsMatch) {
       if (!decoded.ok()) continue;
       if (!wasm::validate_module(*decoded).ok()) continue;
 
-      // Stub every function import with a zero-returning host of the right
-      // signature so mutants exercise the interpreter, not the plugin ABI.
-      wasm::Linker linker;
-      for (const auto& imp : decoded->imports) {
-        if (imp.kind != wasm::ImportKind::kFunc) continue;
-        const FuncType& ft = decoded->types[imp.type_index];
-        const bool has_result = !ft.results.empty();
-        linker.register_func(
-            imp.module, imp.name,
-            wasm::HostFunc{ft, [has_result](wasm::HostContext&,
-                                            std::span<const wasm::Value>)
-                                   -> Result<std::optional<wasm::Value>> {
-              if (has_result) return std::optional<wasm::Value>(wasm::Value{});
-              return std::optional<wasm::Value>{};
-            }});
+      // Every validated mutant's lowering must pass the stream verifier.
+      // Translation may legally reject a mutant on representation limits,
+      // but never because its own output failed the firewall.
+      Status tr = wasm::translate_module(*decoded);
+      if (!tr.ok()) {
+        ASSERT_EQ(tr.error().message.find("stream firewall"), std::string::npos)
+            << tr.error().message;
+        continue;
       }
+      Status v = analysis::verify_module(*decoded, *decoded->translated);
+      ASSERT_TRUE(v.ok()) << kind << " mutant round " << round << ": "
+                          << v.error().message;
 
-      auto pair = make_pair_from_bytes(mutated, linker);
+      auto pair = make_pair_from_bytes(mutated, stub_linker(*decoded));
       if (!pair.ok()) continue;  // e.g. start function trapped — fine
       ++executed;
       CallOptions opts;
       opts.fuel = 200'000;
       pair->expect_same("schedule", {}, opts);
+
+      // The tier-2 rewrites of every mutant must pass the verifier too
+      // (spec1 tiered up during expect_same).
+      const size_t nfuncs = pair->spec1->translation()->funcs.size();
+      for (uint32_t di = 0; di < nfuncs; ++di) {
+        Status t2 = analysis::verify_func(pair->spec1->module(),
+                                          *pair->spec1->active_stream(di));
+        ASSERT_TRUE(t2.ok()) << kind << " mutant round " << round << " func "
+                             << di << ": " << t2.error().message;
+      }
     }
     EXPECT_GT(executed, 0) << kind;
   }

@@ -14,6 +14,11 @@
 //                                                        execute through the
 //                                                        plugin ABI, print the
 //                                                        output as hex
+//   waranc analyze plugin.wasm [--fuel N] [--depth N]    static verification +
+//                                                        per-function worst-case
+//                                                        bounds + the admission
+//                                                        verdict a PluginManager
+//                                                        would reach
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -21,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/analysis.h"
 #include "plugin/plugin.h"
 #include "wasm/disasm.h"
 #include "wasmbuilder/wat.h"
@@ -38,7 +44,8 @@ int usage() {
                "  waranc check plugin.wasm\n"
                "  waranc dump plugin.wasm [--tiers]\n"
                "  waranc asm plugin.wat [-o out.wasm]\n"
-               "  waranc run plugin.wasm EXPORT [--input-hex BYTES] [--fuel N]\n");
+               "  waranc run plugin.wasm EXPORT [--input-hex BYTES] [--fuel N]\n"
+               "  waranc analyze plugin.wasm [--fuel N] [--depth N]\n");
   return 2;
 }
 
@@ -298,6 +305,74 @@ int cmd_run(int argc, char** argv) {
   return 0;
 }
 
+std::string bound_str(uint64_t v) {
+  return v == analysis::kUnbounded ? "unbounded" : std::to_string(v);
+}
+
+// The MNO's admission-time view of a plugin (§3A pre-deployment checks):
+// verify the translated streams, print each function's static worst-case
+// bounds, then the admission verdict the PluginManager would reach against
+// the given slot budget. Exit 0 = admitted.
+int cmd_analyze(int argc, char** argv) {
+  std::string path;
+  analysis::AdmissionLimits budget;
+  budget.fuel_per_call = plugin::PluginLimits{}.fuel_per_call;
+  for (int i = 0; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--fuel" && i + 1 < argc) {
+      budget.fuel_per_call = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--depth" && i + 1 < argc) {
+      budget.max_call_depth =
+          static_cast<uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (!arg.empty() && arg[0] != '-') {
+      path = std::move(arg);
+    } else {
+      return usage();
+    }
+  }
+  if (path.empty()) return usage();
+  // Route our own translation through the verifier too: a translator bug
+  // shows up as a firewall error here, not as bogus bounds.
+  analysis::install_stream_firewall();
+  auto module = load_module(path);
+  if (!module.ok()) {
+    std::printf("REJECTED: %s\n", module.error().message.c_str());
+    return 1;
+  }
+  auto tm = wasm::translate(*module);
+  if (!tm.ok()) {
+    std::printf("REJECTED: %s\n", tm.error().message.c_str());
+    return 1;
+  }
+  auto ana = analysis::analyze(*module, **tm);
+  if (!ana.ok()) {
+    std::printf("REJECTED: %s\n", ana.error().message.c_str());
+    return 1;
+  }
+  std::printf("verified: %zu function stream(s) well-formed\n",
+              (*tm)->funcs.size());
+  for (size_t i = 0; i < ana->funcs.size(); ++i) {
+    const analysis::FuncBounds& b = ana->funcs[i];
+    const uint32_t func_index =
+        static_cast<uint32_t>(i) + module->num_imported_funcs;
+    std::string name;
+    for (const wasm::Export& e : module->exports) {
+      if (e.kind == wasm::ImportKind::kFunc && e.index == func_index) {
+        name = " (" + e.name + ")";
+        break;
+      }
+    }
+    std::printf("func %u%s: stack %u, frames [%s, %s], fuel [%s, %s], %s\n",
+                func_index, name.c_str(), b.max_operand_depth,
+                bound_str(b.min_frames).c_str(), bound_str(b.max_frames).c_str(),
+                bound_str(b.min_fuel).c_str(), bound_str(b.worst_fuel).c_str(),
+                b.may_loop ? "may loop" : "loop-free");
+  }
+  analysis::AdmissionReport report = analysis::admit(*module, **tm, budget);
+  std::fputs(report.summary().c_str(), stdout);
+  return report.admitted ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -308,5 +383,6 @@ int main(int argc, char** argv) {
   if (cmd == "dump") return cmd_dump(argc - 2, argv + 2);
   if (cmd == "asm") return cmd_asm(argc - 2, argv + 2);
   if (cmd == "run") return cmd_run(argc - 2, argv + 2);
+  if (cmd == "analyze") return cmd_analyze(argc - 2, argv + 2);
   return usage();
 }
